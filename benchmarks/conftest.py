@@ -1,0 +1,58 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure (via the corresponding
+``repro.experiments`` module), records the headline numbers in
+``benchmark.extra_info`` and prints the rendered figure, so
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section in one command.  Scales default to
+CI-size; set ``HIREP_BENCH_SCALE=paper`` for the paper's 1000-peer runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+PAPER = os.environ.get("HIREP_BENCH_SCALE", "small") == "paper"
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    """Per-experiment size knobs for the active scale."""
+    if PAPER:
+        return {
+            "fig5": dict(network_size=1000, transactions=300),
+            "fig6": dict(network_size=1000, transactions=400),
+            "fig7": dict(network_size=1000, train_transactions=200, measure_transactions=100),
+            "fig8": dict(network_size=1000, transactions=200),
+            "traffic_bound": dict(network_size=300, transactions=40),
+            "robustness": dict(network_size=250),
+            "ablations": dict(network_size=250),
+        }
+    return {
+        "fig5": dict(network_size=600, transactions=40),
+        "fig6": dict(network_size=250, transactions=120),
+        "fig7": dict(
+            network_size=200,
+            train_transactions=60,
+            measure_transactions=30,
+            ratios=(0.0, 0.3, 0.6, 0.9),
+        ),
+        "fig8": dict(network_size=250, transactions=40),
+        "traffic_bound": dict(network_size=150, transactions=10),
+        "robustness": dict(network_size=150),
+        "ablations": dict(network_size=150),
+    }
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, **kwargs):
+        return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

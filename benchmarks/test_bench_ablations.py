@@ -1,0 +1,14 @@
+"""Bench: design-choice ablations (extension experiment)."""
+
+from repro.experiments import ablations
+
+
+def test_bench_ablations(benchmark, run_once, scale):
+    result = run_once(ablations.run, **scale["ablations"])
+    assert all("HOLDS" in n for n in result.notes), result.notes
+    print()
+    for series in result.series:
+        pairs = ", ".join(f"{x:g}->{y:.4g}" for x, y in zip(series.x, series.y))
+        print(f"  {series.name}: {pairs}")
+    for note in result.notes:
+        print(f"  note: {note}")

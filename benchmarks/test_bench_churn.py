@@ -1,0 +1,16 @@
+"""Bench: churn resilience (extension experiment)."""
+
+from repro.experiments import churn_resilience
+
+
+def test_bench_churn(benchmark, run_once):
+    result = run_once(
+        churn_resilience.run, network_size=150, transactions=100
+    )
+    benchmark.extra_info["answered_at_max_churn"] = result.get(
+        "answered_fraction"
+    ).final()
+    benchmark.extra_info["mse_at_max_churn"] = result.get("tail_mse").final()
+    assert all("HOLDS" in n for n in result.notes), result.notes
+    print()
+    print(result.render())

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 5 — trust-query traffic, hiREP vs voting-2/3/4."""
+
+from repro.experiments import fig5_traffic
+
+
+def test_bench_fig5(benchmark, run_once, scale):
+    result = run_once(fig5_traffic.run, **scale["fig5"])
+    benchmark.extra_info["hirep_over_voting2"] = result.scalars["hirep_over_voting2"]
+    benchmark.extra_info["hirep_msgs_per_tx"] = result.scalars["hirep_msgs_per_tx"]
+    # Paper shape: voting grows with degree; hiREP < 1/2 voting-2.
+    assert result.get("voting-2").final() < result.get("voting-3").final()
+    assert result.get("voting-3").final() < result.get("voting-4").final()
+    assert result.scalars["hirep_over_voting2"] < 0.5
+    print()
+    print(result.render())

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 6 — MSE vs transactions, voting vs hirep-4/6/8."""
+
+from repro.experiments import fig6_accuracy
+
+
+def test_bench_fig6(benchmark, run_once, scale):
+    result = run_once(fig6_accuracy.run, **scale["fig6"])
+    for theta in (4, 6, 8):
+        benchmark.extra_info[f"hirep-{theta}_tail_mse"] = result.scalars[
+            f"hirep-{theta}_tail_mse"
+        ]
+    benchmark.extra_info["voting_tail_mse"] = result.scalars["voting_tail_mse"]
+    # Paper shape: trained hiREP below voting at every threshold.
+    for theta in (4, 6, 8):
+        assert result.scalars[f"hirep-{theta}_tail_mse"] < result.scalars["voting_tail_mse"]
+    print()
+    print(result.render())

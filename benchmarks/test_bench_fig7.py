@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 7 — MSE vs attacker ratio."""
+
+from repro.experiments import fig7_malicious
+
+
+def test_bench_fig7(benchmark, run_once, scale):
+    result = run_once(fig7_malicious.run, **scale["fig7"])
+    benchmark.extra_info["hirep_mse_at_90"] = result.scalars["hirep_mse_at_90"]
+    # Paper shape: hiREP under 0.25 even at 90% attackers; voting degrades
+    # far faster than hiREP.
+    assert result.scalars["hirep_mse_at_90"] < 0.25
+    hirep = result.get("hirep").y
+    voting = result.get("voting").y
+    assert (voting[-1] - voting[0]) > (hirep[-1] - hirep[0])
+    print()
+    print(result.render())

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 8 — cumulative response time, voting vs hirep-10/7/5."""
+
+from repro.experiments import fig8_response
+
+
+def test_bench_fig8(benchmark, run_once, scale):
+    result = run_once(fig8_response.run, **scale["fig8"])
+    for name in ("voting_mean_ms", "hirep-5_mean_ms", "hirep-7_mean_ms", "hirep-10_mean_ms"):
+        benchmark.extra_info[name] = result.scalars[name]
+    # Paper shape: fewer relays -> faster; every hiREP variant beats voting.
+    assert (
+        result.scalars["hirep-5_mean_ms"]
+        < result.scalars["hirep-7_mean_ms"]
+        < result.scalars["hirep-10_mean_ms"]
+        < result.scalars["voting_mean_ms"]
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the hot paths (engine, crypto, flooding, transaction).
+
+Not a paper artifact — these track the implementation's own performance so
+regressions in the simulation substrate are visible (the HPC guides'
+"no optimization without measuring").
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HiRepConfig
+from repro.core.system import HiRepSystem
+from repro.crypto.backend import get_backend
+from repro.net.flooding import flood_bfs
+from repro.net.topology import power_law_topology
+from repro.sim.engine import SimEngine
+
+
+def test_bench_engine_event_throughput(benchmark):
+    def run_10k_events():
+        engine = SimEngine()
+        remaining = [10_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.schedule_in(1.0, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return engine.events_processed
+
+    events = benchmark(run_10k_events)
+    assert events == 10_000
+
+
+def test_bench_flood_1000_nodes(benchmark):
+    topo = power_law_topology(1000, 4, np.random.default_rng(0))
+    result = benchmark(flood_bfs, topo, 0, 4)
+    assert result.reach > 0
+
+
+def test_bench_simulated_crypto_roundtrip(benchmark):
+    backend = get_backend("simulated")
+    rng = np.random.default_rng(0)
+    pub, priv = backend.generate_keypair(rng)
+    payload = {"trust_value": 0.9, "nonce": 12345}
+
+    def roundtrip():
+        return backend.decrypt(priv, backend.encrypt(pub, payload))
+
+    assert benchmark(roundtrip) == payload
+
+
+def test_bench_rsa_sign_verify(benchmark):
+    backend = get_backend("rsa")
+    rng = np.random.default_rng(0)
+    pub, priv = backend.generate_keypair(rng)
+
+    def sign_verify():
+        sig = backend.sign(priv, ("result", 1.0, 42))
+        return backend.verify(pub, ("result", 1.0, 42), sig)
+
+    assert benchmark(sign_verify)
+
+
+def test_bench_hirep_transaction(benchmark):
+    cfg = HiRepConfig(
+        network_size=200,
+        trusted_agents=20,
+        refill_threshold=12,
+        agents_queried=10,
+        onion_relays=5,
+        seed=0,
+    )
+    system = HiRepSystem(cfg)
+    system.bootstrap()
+    system.reset_metrics()
+
+    out = benchmark.pedantic(
+        lambda: system.run_transaction(requestor=0), rounds=20, iterations=1
+    )
+    assert out.trust_messages > 0

@@ -1,0 +1,16 @@
+"""Bench: report-driven agents experiment (extension)."""
+
+from repro.experiments import report_models
+
+
+def test_bench_report_models(benchmark, run_once):
+    result = run_once(
+        report_models.run, network_size=150, transactions=200, providers=8
+    )
+    benchmark.extra_info["report_average_tail"] = result.scalars[
+        "report-average_tail_mse"
+    ]
+    benchmark.extra_info["oracle_tail"] = result.scalars["oracle_tail_mse"]
+    assert all("HOLDS" in n for n in result.notes), result.notes
+    print()
+    print(result.render())

@@ -1,0 +1,14 @@
+"""Bench: §4.2 robustness measurements (extension experiment)."""
+
+from repro.experiments import robustness
+
+
+def test_bench_robustness(benchmark, run_once, scale):
+    result = run_once(robustness.run, **scale["robustness"])
+    benchmark.extra_info["spoofing_rejection_rate"] = result.scalars[
+        "spoofing_rejection_rate"
+    ]
+    assert result.scalars["spoofing_rejection_rate"] == 1.0
+    assert all("HOLDS" in n for n in result.notes), result.notes
+    print()
+    print(result.render())

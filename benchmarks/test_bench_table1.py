@@ -1,0 +1,12 @@
+"""Bench: regenerate Table 1 (simulation parameters)."""
+
+from repro.experiments import table1_params
+
+
+def test_bench_table1(benchmark, run_once):
+    result = run_once(table1_params.run)
+    benchmark.extra_info["rows"] = result.scalars["rows"]
+    assert result.scalars["rows"] == 9
+    assert not any("drift" in n for n in result.notes)
+    print()
+    table1_params.main()

@@ -1,0 +1,10 @@
+"""Bench: §4.1 analytic traffic bound vs measurement."""
+
+from repro.experiments import traffic_bound
+
+
+def test_bench_traffic_bound(benchmark, run_once, scale):
+    result = run_once(traffic_bound.run, **scale["traffic_bound"])
+    assert all("HOLDS" in n for n in result.notes), result.notes
+    print()
+    print(result.render())

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Churn: the backup agent cache in action (§3.4.3).
+
+Unstructured P2P populations churn constantly.  hiREP parks offline agents
+with positive expertise in a most-recently-first backup cache and probes it
+before paying for rediscovery.  This example runs the same churny workload
+with the cache enabled and disabled and compares rediscovery traffic and
+accuracy.
+
+Run:  python examples/churn_dynamics.py
+"""
+
+from repro import HiRepConfig, HiRepSystem
+from repro.net.churn import ChurnModel
+
+BASE = HiRepConfig(
+    network_size=250,
+    trusted_agents=20,
+    agents_queried=8,
+    refill_threshold=12,
+    onion_relays=3,
+    seed=77,
+)
+
+def run_with(backup_cache_size: int):
+    churn = ChurnModel(leave_prob=0.05, rejoin_prob=0.4, protected={0})
+    system = HiRepSystem(
+        BASE.with_(backup_cache_size=backup_cache_size), churn=churn
+    )
+    system.bootstrap()
+    system.reset_metrics()
+    system.run(200, requestor=0)
+    peer = system.peers[0]
+    return {
+        "discovery msgs": system.counter.by_category.get("agent_discovery", 0)
+        + system.counter.by_category.get("agent_discovery_reply", 0),
+        "probe msgs": peer.probe_messages,
+        "parked": peer.agent_list.backups_parked,
+        "restored": peer.agent_list.backups_restored,
+        "tail MSE": round(system.mse.tail_mse(50), 4),
+        "departures": churn.stats.departures,
+    }
+
+with_cache = run_with(backup_cache_size=30)
+without_cache = run_with(backup_cache_size=0)
+
+print(f"{'metric':<16}{'with backup cache':>20}{'without':>12}")
+for key in with_cache:
+    print(f"{key:<16}{with_cache[key]:>20}{without_cache[key]:>12}")
+
+saved = without_cache["discovery msgs"] - with_cache["discovery msgs"]
+print(f"\nThe cache saved {saved} rediscovery messages over 200 churny transactions.")

@@ -1,0 +1,36 @@
+"""repro — a full reproduction of *hiREP: Hierarchical Reputation
+Management for Peer-to-Peer Systems* (Liu & Xiao, ICPP 2006).
+
+Public API tour
+---------------
+
+>>> from repro import HiRepSystem, HiRepConfig
+>>> system = HiRepSystem(HiRepConfig(network_size=200, seed=7))
+>>> system.bootstrap()
+>>> outcome = system.run_transaction(requestor=0)
+>>> 0.0 <= outcome.estimate <= 1.0
+True
+
+Subpackages: :mod:`repro.core` (the hiREP protocol), :mod:`repro.net`
+(unstructured P2P substrate), :mod:`repro.onion` (onion routing),
+:mod:`repro.crypto` (RSA / simulated backends), :mod:`repro.sim`
+(discrete-event engine and metrics), :mod:`repro.baselines` (pure voting,
+TrustMe, EigenTrust), :mod:`repro.attacks` (§4.2 attack models),
+:mod:`repro.workloads` and :mod:`repro.experiments` (per-figure harness).
+"""
+
+from repro._version import __version__
+from repro.core.config import DEFAULT_CONFIG, HiRepConfig
+from repro.core.system import HiRepSystem, TransactionOutcome
+from repro.baselines.voting import PureVotingSystem
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "DEFAULT_CONFIG",
+    "HiRepConfig",
+    "HiRepSystem",
+    "TransactionOutcome",
+    "PureVotingSystem",
+    "ReproError",
+]

@@ -1,0 +1,17 @@
+"""Post-run analysis: convergence detection, traffic breakdowns."""
+
+from repro.analysis.convergence import (
+    ConvergenceReport,
+    compare_convergence,
+    convergence_point,
+)
+from repro.analysis.traffic import PHASE_OF_CATEGORY, TrafficBreakdown, breakdown
+
+__all__ = [
+    "ConvergenceReport",
+    "compare_convergence",
+    "convergence_point",
+    "PHASE_OF_CATEGORY",
+    "TrafficBreakdown",
+    "breakdown",
+]

@@ -1,0 +1,68 @@
+"""Traffic breakdown reports.
+
+Turns a :class:`~repro.sim.metrics.MessageCounter` into the kind of table
+an evaluation section needs: messages and share per protocol phase, plus a
+phase grouping that maps raw categories onto the paper's vocabulary
+(trust distribution / discovery / membership / key exchange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.metrics import MessageCounter
+
+__all__ = ["TrafficBreakdown", "breakdown", "PHASE_OF_CATEGORY"]
+
+#: Raw category -> paper-level phase.
+PHASE_OF_CATEGORY = {
+    "trust_query": "trust distribution",
+    "trust_response": "trust distribution",
+    "transaction_report": "trust distribution",
+    "agent_discovery": "agent discovery",
+    "agent_discovery_reply": "agent discovery",
+    "key_exchange": "key exchange",
+    "flood_query": "polling",
+    "flood_response": "polling",
+    "gnutella_ping": "membership",
+    "gnutella_pong": "membership",
+    "gnutella_connect": "membership",
+    "dht_route": "dht",
+    "dht_put": "dht",
+    "dht_get": "dht",
+    "control": "control",
+}
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Aggregated traffic per phase."""
+
+    total: int
+    by_phase: dict[str, int]
+    by_category: dict[str, int]
+
+    def share(self, phase: str) -> float:
+        if self.total == 0:
+            return float("nan")
+        return self.by_phase.get(phase, 0) / self.total
+
+    def render(self) -> str:
+        lines = [f"total messages: {self.total}"]
+        for phase, count in sorted(
+            self.by_phase.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            lines.append(f"  {phase:<20} {count:>10}  ({self.share(phase):6.1%})")
+        return "\n".join(lines)
+
+
+def breakdown(counter: MessageCounter) -> TrafficBreakdown:
+    """Aggregate a counter's categories into paper-level phases."""
+    by_phase: dict[str, int] = {}
+    by_category = dict(counter.by_category)
+    for category, count in by_category.items():
+        phase = PHASE_OF_CATEGORY.get(category, "other")
+        by_phase[phase] = by_phase.get(phase, 0) + count
+    return TrafficBreakdown(
+        total=counter.total, by_phase=by_phase, by_category=by_category
+    )

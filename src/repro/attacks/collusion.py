@@ -1,0 +1,71 @@
+"""Collusive evaluation manipulation (§4.2.3).
+
+Attackers "make good evaluations for poor peers and bad evaluations for
+good peers".  In the voting baseline every colluding voter moves the plain
+mean directly; in hiREP the colluders must first *be* trusted agents and
+then survive expertise maintenance — which they cannot, because their
+inverted evaluations are exactly what the eviction rule scores.
+
+This module provides the shared attacker-ratio sweep both Fig. 7 and the
+robustness experiment use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.voting import PureVotingSystem
+from repro.core.config import HiRepConfig
+from repro.core.system import HiRepSystem
+
+__all__ = ["CollusionPoint", "sweep_attacker_ratio"]
+
+
+@dataclass(frozen=True)
+class CollusionPoint:
+    """One attacker-ratio measurement."""
+
+    attacker_ratio: float
+    hirep_mse: float
+    voting_mse: float
+
+
+def sweep_attacker_ratio(
+    base_config: HiRepConfig,
+    ratios: list[float],
+    *,
+    train_transactions: int = 200,
+    measure_transactions: int = 100,
+    requestor: int | None = 0,
+) -> list[CollusionPoint]:
+    """Fig. 7's sweep: MSE after training, as the attacker ratio grows.
+
+    For hiREP the ratio sets the fraction of *reputation agents* that are
+    poor; for voting it sets the fraction of *voters* that are malicious —
+    the same interpretation the paper uses.
+    """
+    points: list[CollusionPoint] = []
+    for ratio in ratios:
+        cfg = base_config.with_(
+            poor_agent_fraction=ratio, malicious_fraction=ratio
+        )
+        hirep = HiRepSystem(cfg)
+        hirep.bootstrap()
+        hirep.reset_metrics()
+        hirep.run(train_transactions, requestor=requestor)
+        hirep.mse.reset()
+        hirep.run(measure_transactions, requestor=requestor)
+
+        voting = PureVotingSystem(cfg)
+        voting.run(measure_transactions, requestor=requestor)
+
+        points.append(
+            CollusionPoint(
+                attacker_ratio=ratio,
+                hirep_mse=hirep.mse.mse(),
+                voting_mse=voting.mse.mse(),
+            )
+        )
+    return points

@@ -1,0 +1,61 @@
+"""DoS/DDoS against high-performance reputation agents (§4.2.4).
+
+The paper argues the attack is costly to *target* (onion traffic hides who
+the good agents are) and cheap to *absorb* (peers replace lost agents from
+a large community).  :func:`take_down_top_agents` models a successful
+targeting — the strongest possible attacker — and the robustness experiment
+measures the absorption: the MSE dip and its recovery as peers fall back to
+backups and rediscovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.system import HiRepSystem
+
+__all__ = ["DosOutcome", "take_down_top_agents", "restore_agents"]
+
+
+@dataclass
+class DosOutcome:
+    """Which agents were disabled."""
+
+    disabled: list[int]
+
+
+def _agent_popularity(system: HiRepSystem) -> dict[int, int]:
+    """How many peers currently trust each agent (the attacker's oracle)."""
+    popularity: dict[int, int] = {ip: 0 for ip in system.agents}
+    for peer in system.peers:
+        for agent in peer.agent_list.agents():
+            ip = agent.entry.agent_ip
+            if ip in popularity:
+                popularity[ip] += 1
+    return popularity
+
+
+def take_down_top_agents(
+    system: HiRepSystem, count: int, exclude: set[int] | None = None
+) -> DosOutcome:
+    """Knock the ``count`` most-trusted agents offline.
+
+    ``exclude`` protects specific nodes (e.g. the requestor under study,
+    which the attacker has no reason to target).
+    """
+    popularity = _agent_popularity(system)
+    ranked = sorted(popularity, key=popularity.get, reverse=True)
+    if exclude:
+        ranked = [ip for ip in ranked if ip not in exclude]
+    victims = ranked[:count]
+    for ip in victims:
+        system.network.set_online(ip, False)
+    return DosOutcome(disabled=victims)
+
+
+def restore_agents(system: HiRepSystem, outcome: DosOutcome) -> None:
+    """Bring the victims back online (end of the attack window)."""
+    for ip in outcome.disabled:
+        system.network.set_online(ip, True)

@@ -1,0 +1,104 @@
+"""Recommendation-manipulation attacks (§4.2.1).
+
+Attackers try to bias trusted-agent selection by forging the weights in the
+lists they return during discovery:
+
+* **bad-mouthing** — weight 0 for high-performance agents.  Defeated by the
+  max-rank merge: one honest high recommendation outranks any number of bad
+  ones ("as an agent is always ranked according to the greatest weight it
+  received, the bad recommendation given by attackers will be ignored").
+* **ballot-stuffing** — weight 1 for poor agents.  Cannot be fully
+  prevented; the paper's claim is the weaker guarantee that good agents
+  still reach the candidate set, and poor ones get filtered by expertise
+  maintenance afterwards.
+
+:class:`RecommendationAttacker` plugs into
+``HiRepSystem.discovery_list_hook`` and forges both at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.messages import AgentListEntry
+from repro.core.system import HiRepSystem
+from repro.errors import ConfigError
+
+__all__ = ["RecommendationAttacker", "install_recommendation_attack"]
+
+
+class RecommendationAttacker:
+    """Forges discovery replies from a set of compromised nodes."""
+
+    def __init__(
+        self,
+        system: HiRepSystem,
+        compromised: set[int],
+        *,
+        bad_mouth_good: bool = True,
+        ballot_stuff_poor: bool = True,
+    ) -> None:
+        self.system = system
+        self.compromised = set(compromised)
+        self.bad_mouth_good = bad_mouth_good
+        self.ballot_stuff_poor = ballot_stuff_poor
+        self.forged_lists_served = 0
+        self._poor = set(system.poor_agent_ips())
+        self._good = set(system.good_agent_ips())
+
+    def __call__(self, node: int) -> tuple[AgentListEntry, ...] | None:
+        """The ``discovery_list_hook``: forge when ``node`` is compromised."""
+        if node not in self.compromised:
+            return None
+        forged: list[AgentListEntry] = []
+        # Ballot-stuff every poor agent the attacker can advertise.
+        if self.ballot_stuff_poor:
+            for ip in self._poor:
+                entry = self.system.self_entry_for(ip)
+                if entry is not None:
+                    forged.append(
+                        AgentListEntry(
+                            weight=1.0,
+                            agent_node_id=entry.agent_node_id,
+                            agent_onion=entry.agent_onion,
+                            agent_sp=entry.agent_sp,
+                            agent_ip=entry.agent_ip,
+                        )
+                    )
+        # Bad-mouth the good ones with zero weight.
+        if self.bad_mouth_good:
+            for ip in self._good:
+                entry = self.system.self_entry_for(ip)
+                if entry is not None:
+                    forged.append(
+                        AgentListEntry(
+                            weight=0.0,
+                            agent_node_id=entry.agent_node_id,
+                            agent_onion=entry.agent_onion,
+                            agent_sp=entry.agent_sp,
+                            agent_ip=entry.agent_ip,
+                        )
+                    )
+        if not forged:
+            return None
+        self.forged_lists_served += 1
+        return tuple(forged)
+
+
+def install_recommendation_attack(
+    system: HiRepSystem,
+    attacker_fraction: float,
+    rng: np.random.Generator,
+    **kwargs,
+) -> RecommendationAttacker:
+    """Compromise a random fraction of nodes and install the hook."""
+    if not 0.0 <= attacker_fraction <= 1.0:
+        raise ConfigError(f"attacker_fraction must be in [0,1], got {attacker_fraction}")
+    n = system.config.network_size
+    count = int(round(attacker_fraction * n))
+    compromised = set(
+        int(i) for i in rng.choice(n, size=min(count, n), replace=False)
+    )
+    attacker = RecommendationAttacker(system, compromised, **kwargs)
+    system.discovery_list_hook = attacker
+    return attacker

@@ -1,0 +1,70 @@
+"""Oscillation (build-then-milk) attacks on reputation.
+
+A classic attack on EWMA-style trust (TrustGuard's motivating case, the
+paper's ref [9]): an agent evaluates honestly until it is well-trusted,
+then flips.  hiREP's defence is the same expertise EWMA that filters
+always-bad agents — the flip shows up as inconsistent evaluations and the
+agent is silenced after one or two strikes, no matter how long it behaved.
+
+:class:`OscillatingModel` wraps the quality-driven model with a turn point
+(or a duty cycle); the robustness tests train a system on honest behaviour,
+trigger the turn, and measure how quickly accuracy recovers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trust_models import QualityDrivenModel, TrustModel
+from repro.crypto.hashing import NodeID
+from repro.errors import ConfigError
+
+__all__ = ["OscillatingModel"]
+
+
+class OscillatingModel(TrustModel):
+    """Evaluates honestly for ``honest_evaluations``, then turns (or cycles).
+
+    Parameters
+    ----------
+    honest_evaluations:
+        Number of initial evaluations made honestly (the build phase).
+    period:
+        When set, after the build phase the agent alternates: ``period``
+        dishonest evaluations, then ``period`` honest ones, repeating —
+        the oscillation proper.  When ``None`` the turn is permanent.
+    """
+
+    def __init__(
+        self,
+        good_range: tuple[float, float] = (0.6, 1.0),
+        bad_range: tuple[float, float] = (0.0, 0.4),
+        *,
+        honest_evaluations: int = 20,
+        period: int | None = None,
+    ) -> None:
+        if honest_evaluations < 0:
+            raise ConfigError(f"honest_evaluations must be >= 0, got {honest_evaluations}")
+        if period is not None and period < 1:
+            raise ConfigError(f"period must be >= 1, got {period}")
+        self._honest = QualityDrivenModel(True, good_range, bad_range)
+        self._dishonest = QualityDrivenModel(False, good_range, bad_range)
+        self.honest_evaluations = honest_evaluations
+        self.period = period
+        self.evaluations = 0
+
+    def currently_honest(self) -> bool:
+        """Which face the agent is showing for the next evaluation."""
+        if self.evaluations < self.honest_evaluations:
+            return True
+        if self.period is None:
+            return False
+        phase = (self.evaluations - self.honest_evaluations) // self.period
+        return phase % 2 == 1  # first post-build phase is dishonest
+
+    def evaluate(
+        self, subject: NodeID, subject_truth: float, rng: np.random.Generator
+    ) -> float:
+        model = self._honest if self.currently_honest() else self._dishonest
+        self.evaluations += 1
+        return model.evaluate(subject, subject_truth, rng)

@@ -1,0 +1,96 @@
+"""Identity-spoofing attacks (§4.2.2).
+
+"In identity spoofing attacks, attackers send out trust values or
+transaction results using the identities of other nodes.  This is not
+possible in hiREP" — every report is signed with the private key bound to
+the sender's nodeID.  These helpers *mount* the attack against a live
+system so tests and the robustness experiment can measure the rejection
+rate (which must be 100%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.agent import ReputationAgent
+from repro.core.messages import SignedResult, TransactionReport
+from repro.core.system import HiRepSystem
+from repro.crypto.hashing import NodeID
+from repro.crypto.keys import PeerKeys
+
+__all__ = ["SpoofingReport", "forge_report", "mount_spoofing_attack"]
+
+
+@dataclass
+class SpoofingReport:
+    """Result of one spoofing campaign."""
+
+    attempted: int
+    accepted: int
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.attempted == 0:
+            return float("nan")
+        return 1.0 - self.accepted / self.attempted
+
+
+def forge_report(
+    system: HiRepSystem,
+    attacker_ip: int,
+    victim_node_id: NodeID,
+    subject: NodeID,
+    outcome: float,
+) -> TransactionReport:
+    """Build a report claiming to come from ``victim_node_id``.
+
+    The attacker signs with *its own* key (it cannot have the victim's SR),
+    exactly the forgery the paper rules out.
+    """
+    attacker = system.peers[attacker_ip]
+    result = SignedResult(
+        subject=subject,
+        outcome=outcome,
+        nonce=attacker.nonces.issue(),
+    )
+    signature = system.backend.sign(attacker.keys.sr, result)
+    return TransactionReport(
+        result=result,
+        signature=signature,
+        reporter_node_id=victim_node_id,  # the lie
+    )
+
+
+def mount_spoofing_attack(
+    system: HiRepSystem,
+    attacker_ip: int,
+    agent_ip: int,
+    attempts: int,
+    rng: np.random.Generator,
+) -> SpoofingReport:
+    """Fire ``attempts`` forged reports at one agent; count acceptances.
+
+    Victim identities are sampled from the agent's public-key list (worst
+    case for the defence: the agent *knows* these identities), and the
+    forged outcome inverts the subject's ground truth.
+    """
+    agent: ReputationAgent = system.agents[agent_ip]
+    attacker_id = system.peers[attacker_ip].node_id
+    # A report under the attacker's own identity is not a spoof.
+    known = [nid for nid in agent.public_key_list if nid != attacker_id]
+    if not known:
+        return SpoofingReport(attempted=0, accepted=0)
+    accepted = 0
+    subjects = list(system.truth_by_id.keys())
+    for _ in range(attempts):
+        victim = known[int(rng.integers(0, len(known)))]
+        subject = subjects[int(rng.integers(0, len(subjects)))]
+        truth = system.truth_by_id[subject]
+        report = forge_report(
+            system, attacker_ip, victim, subject, outcome=1.0 - truth
+        )
+        if agent.handle_report(report):
+            accepted += 1
+    return SpoofingReport(attempted=attempts, accepted=accepted)

@@ -1,0 +1,70 @@
+"""Traffic-analysis adversary (§4.2.4).
+
+To DoS the high-performance reputation agents, an attacker must first find
+them.  The paper argues that "as traffic is spread among randomly chosen
+onion relays and reputation agents, it is hard to identify the high
+performance reputation agents by analyzing the traffic flow".
+
+:class:`TrafficObserver` is a global passive eavesdropper — the strongest
+wiretap model: it sees the (src, dst, category, size) of **every** datagram
+in the network, but no plaintext (everything protocol-relevant is sealed).
+Its inference is the natural one: nodes that *receive* the most trust-phase
+traffic are probably the popular agents.  The experiment measures the
+attacker's top-k precision against the true most-popular agents, with and
+without onions — without them the agents light up immediately; with them
+the relays absorb and randomize the signal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.system import HiRepSystem
+from repro.net.messages import NetMessage
+
+__all__ = ["TrafficObserver", "top_k_precision", "true_popular_agents"]
+
+
+class TrafficObserver:
+    """Global passive wiretap: per-node received/sent datagram counts."""
+
+    def __init__(self, categories: set[str] | None = None) -> None:
+        """``categories`` restricts observation (None = everything)."""
+        self.categories = categories
+        self.received: Counter[int] = Counter()
+        self.sent: Counter[int] = Counter()
+        self.observed = 0
+
+    def __call__(self, msg: NetMessage) -> None:
+        if self.categories is not None and msg.category not in self.categories:
+            return
+        self.received[msg.dst] += 1
+        self.sent[msg.src] += 1
+        self.observed += 1
+
+    def attach(self, system: HiRepSystem) -> "TrafficObserver":
+        system.network.observers.append(self)
+        return self
+
+    def suspected_agents(self, k: int) -> list[int]:
+        """The attacker's guess: the k heaviest traffic sinks."""
+        return [node for node, _count in self.received.most_common(k)]
+
+
+def true_popular_agents(system: HiRepSystem, k: int) -> list[int]:
+    """Ground truth: the k agents appearing on the most trusted lists."""
+    popularity: Counter[int] = Counter()
+    for peer in system.peers:
+        for agent in peer.agent_list.agents():
+            ip = agent.entry.agent_ip
+            if ip in system.agents:
+                popularity[ip] += 1
+    return [ip for ip, _count in popularity.most_common(k)]
+
+
+def top_k_precision(suspected: list[int], actual: list[int]) -> float:
+    """|suspected ∩ actual| / |actual| — the attacker's hit rate."""
+    if not actual:
+        return float("nan")
+    return len(set(suspected) & set(actual)) / len(actual)

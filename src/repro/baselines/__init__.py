@@ -1,0 +1,25 @@
+"""Baseline reputation systems compared against hiREP."""
+
+from repro.baselines.base import BaselineOutcome, BaselineSystem, draw_vote
+from repro.baselines.eigentrust import (
+    EigenTrustSystem,
+    eigentrust,
+    normalize_local_trust,
+)
+from repro.baselines.credibility import CredibilityVotingSystem
+from repro.baselines.local import LocalReputationSystem
+from repro.baselines.trustme import TrustMeSystem
+from repro.baselines.voting import PureVotingSystem
+
+__all__ = [
+    "CredibilityVotingSystem",
+    "LocalReputationSystem",
+    "BaselineOutcome",
+    "BaselineSystem",
+    "draw_vote",
+    "EigenTrustSystem",
+    "eigentrust",
+    "normalize_local_trust",
+    "TrustMeSystem",
+    "PureVotingSystem",
+]

@@ -1,0 +1,95 @@
+"""The pure-voting (polling) baseline — the paper's comparator (§5.2).
+
+P2PREP-style: trust values live in every peer's local experience, so a
+requestor must poll the whole system.  Simulated exactly as the paper does:
+a TTL-bounded BFS flood carries the trust query; *every* reached node
+computes a vote and returns it to the requestor; the estimate is the plain
+mean of all votes ("the trust value provided by each node is treated
+equally", §5.3 — which is why malicious voters hurt so much, Fig. 7).
+
+Accounting:
+
+* **messages** — one per flood edge traversed, plus ``depth`` messages per
+  vote (query hits route back along the BFS reverse path);
+* **response time** — each vote's arrival is the two-way propagation along
+  its BFS path; arrivals then serialize FIFO on the requestor's access
+  link.  The query completes when the last vote lands (the requestor cannot
+  know it is done earlier — it polled everyone).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineOutcome, BaselineSystem, draw_vote
+from repro.net.flooding import flood_bfs
+from repro.net.messages import Category, DEFAULT_MESSAGE_BYTES
+
+__all__ = ["PureVotingSystem"]
+
+
+class PureVotingSystem(BaselineSystem):
+    """Flooding-based polling reputation system."""
+
+    def run_transaction(
+        self, requestor: int | None = None, provider: int | None = None
+    ) -> BaselineOutcome:
+        req, prov = self.pick_pair(requestor)
+        if provider is not None:
+            prov = provider
+        truth = float(self.truth[prov])
+
+        flood = flood_bfs(
+            self.topology, req, self.config.ttl, online=self.network.is_online
+        )
+        self.counter.count(Category.FLOOD_QUERY, flood.messages)
+
+        votes: list[float] = []
+        vote_messages = 0
+        arrivals: list[float] = []
+        for node, depth in flood.visited.items():
+            if node == req or node == prov:
+                continue
+            honest = not bool(self.malicious[node])
+            votes.append(
+                draw_vote(
+                    honest,
+                    truth,
+                    self.rng,
+                    self.config.good_rating,
+                    self.config.bad_rating,
+                )
+            )
+            vote_messages += depth
+            path = flood.path_to(node)
+            one_way = self.network.path_latency(path)
+            arrivals.append(2.0 * one_way)
+        self.counter.count(Category.FLOOD_RESPONSE, vote_messages)
+
+        estimate = float(np.mean(votes)) if votes else 0.5
+        response_time = self._serialize_at_requestor(req, arrivals)
+        outcome = BaselineOutcome(
+            index=self.transactions_run,
+            requestor=req,
+            provider=prov,
+            estimate=estimate,
+            truth=truth,
+            squared_error=(estimate - truth) ** 2,
+            response_time_ms=response_time,
+            messages=flood.messages + vote_messages,
+            voters=len(votes),
+        )
+        return self._record(outcome)
+
+    def _serialize_at_requestor(self, req: int, arrivals: list[float]) -> float:
+        """FIFO-serialize vote arrivals on the requestor's access link."""
+        if not arrivals:
+            return float("nan")
+        if not self.config.model_transmission:
+            return float(max(arrivals))
+        bandwidth = self.network.node(req).bandwidth_kbps
+        transmit = self.network.transmission_ms(bandwidth, DEFAULT_MESSAGE_BYTES)
+        done = 0.0
+        for arrival in sorted(arrivals):
+            done = max(done, arrival) + transmit
+        return done

@@ -1,0 +1,62 @@
+"""hiREP core: the paper's primary contribution."""
+
+from repro.core.agent import AgentStats, ReputationAgent
+from repro.core.agent_list import TrustedAgent, TrustedAgentList
+from repro.core.config import DEFAULT_CONFIG, HiRepConfig, TABLE1_ROWS
+from repro.core.discovery import DiscoveryOutcome, discover_agent_lists
+from repro.core.expertise import ExpertiseTracker, consistent
+from repro.core.messages import (
+    AgentListEntry,
+    AgentListReply,
+    AgentListRequest,
+    SignedResult,
+    TransactionReport,
+    TrustRequestBody,
+    TrustResponseBody,
+    TrustValueRequest,
+    TrustValueResponse,
+)
+from repro.core.peer import HiRepPeer, PendingQuery, QueryResult
+from repro.core.ranking import merge_ranks, rank_within_list, select_agents
+from repro.core.system import HiRepSystem, TransactionOutcome
+from repro.core.trust_models import (
+    EWMAReportModel,
+    QualityDrivenModel,
+    ReportAverageModel,
+    TrustModel,
+)
+
+__all__ = [
+    "AgentStats",
+    "ReputationAgent",
+    "TrustedAgent",
+    "TrustedAgentList",
+    "DEFAULT_CONFIG",
+    "HiRepConfig",
+    "TABLE1_ROWS",
+    "DiscoveryOutcome",
+    "discover_agent_lists",
+    "ExpertiseTracker",
+    "consistent",
+    "AgentListEntry",
+    "AgentListReply",
+    "AgentListRequest",
+    "SignedResult",
+    "TransactionReport",
+    "TrustRequestBody",
+    "TrustResponseBody",
+    "TrustValueRequest",
+    "TrustValueResponse",
+    "HiRepPeer",
+    "PendingQuery",
+    "QueryResult",
+    "merge_ranks",
+    "rank_within_list",
+    "select_agents",
+    "HiRepSystem",
+    "TransactionOutcome",
+    "EWMAReportModel",
+    "QualityDrivenModel",
+    "ReportAverageModel",
+    "TrustModel",
+]

@@ -1,0 +1,151 @@
+"""Trusted-agent-list discovery: the token + TTL protocol of §3.4.1 / Fig. 4.
+
+A requestor floods ``{R_al, token, TTL}`` to its neighbours with the tokens
+split among them.  A node holding a trusted-agent list returns it to the
+requestor (consuming one token) and forwards the remainder; a node without
+a list forwards its tokens untouched, optionally returning its own identity
+as a candidate reputation agent.  Propagation stops when tokens are used up
+or the TTL expires — so, unlike pure flooding, the reply volume is bounded
+by the token budget no matter how dense the overlay is.
+
+Message accounting: one message per request edge traversed; each reply
+costs ``depth`` messages (it routes back along the reverse path, Gnutella
+query-hit style).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.messages import AgentListEntry, AgentListReply
+from repro.errors import ConfigError
+from repro.net.topology import Topology
+
+__all__ = ["DiscoveryOutcome", "discover_agent_lists"]
+
+
+@dataclass
+class DiscoveryOutcome:
+    """Replies gathered by one discovery round plus its traffic bill."""
+
+    replies: list[AgentListReply] = field(default_factory=list)
+    request_messages: int = 0
+    reply_messages: int = 0
+    tokens_spent: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return self.request_messages + self.reply_messages
+
+    def all_entries(self) -> list[AgentListEntry]:
+        """Every advertised agent entry across replies (lists + self-offers)."""
+        out: list[AgentListEntry] = []
+        for reply in self.replies:
+            out.extend(reply.entries)
+            if reply.self_entry is not None:
+                out.append(reply.self_entry)
+        return out
+
+
+def _split_tokens(
+    tokens: int, ways: int, rng: np.random.Generator
+) -> list[int]:
+    """Distribute ``tokens`` across ``ways`` branches, remainder randomized."""
+    if ways <= 0:
+        return []
+    base, extra = divmod(tokens, ways)
+    shares = [base] * ways
+    if extra:
+        lucky = rng.choice(ways, size=extra, replace=False)
+        for i in lucky:
+            shares[int(i)] += 1
+    return shares
+
+
+def discover_agent_lists(
+    topology: Topology,
+    requestor: int,
+    tokens: int,
+    ttl: int,
+    *,
+    rng: np.random.Generator,
+    get_list: Callable[[int], tuple[AgentListEntry, ...] | None],
+    get_self_entry: Callable[[int], AgentListEntry | None],
+    online: Callable[[int], bool] | None = None,
+) -> DiscoveryOutcome:
+    """Run one agent-list request round from ``requestor``.
+
+    Parameters
+    ----------
+    get_list:
+        ``node -> entries`` — the node's trusted-agent list, or ``None`` /
+        empty when it has none (it then forwards tokens untouched).
+    get_self_entry:
+        ``node -> entry`` — the node's self-advertisement when it is a
+        reputation agent willing to serve, else ``None``.
+    online:
+        Liveness predicate (offline nodes swallow tokens sent to them:
+        charged but lost, like datagrams to a dead host).
+    """
+    if tokens < 1:
+        raise ConfigError(f"tokens must be >= 1, got {tokens}")
+    if ttl < 1:
+        raise ConfigError(f"ttl must be >= 1, got {ttl}")
+    is_online = online if online is not None else (lambda _n: True)
+    outcome = DiscoveryOutcome()
+    replied: set[int] = set()
+
+    # (node, tokens carried, depth, came_from)
+    queue: deque[tuple[int, int, int, int]] = deque()
+
+    def fan_out(node: int, carry: int, depth: int, came_from: int) -> None:
+        """Forward ``carry`` tokens from ``node`` to its other neighbours."""
+        if carry <= 0 or depth >= ttl:
+            return
+        nbrs = [n for n in topology.neighbors(node) if n != came_from]
+        if not nbrs:
+            return
+        shares = _split_tokens(carry, len(nbrs), rng)
+        for nbr, share in zip(nbrs, shares):
+            if share <= 0:
+                continue
+            outcome.request_messages += 1
+            if not is_online(nbr):
+                continue  # tokens lost with the dead host
+            queue.append((nbr, share, depth + 1, node))
+
+    fan_out(requestor, tokens, 0, -1)
+    while queue:
+        node, carry, depth, came_from = queue.popleft()
+        if node == requestor:
+            continue
+        if node not in replied:
+            entries = get_list(node)
+            has_list = bool(entries)
+            if has_list:
+                outcome.replies.append(
+                    AgentListReply(responder_ip=node, entries=tuple(entries or ()))
+                )
+                outcome.reply_messages += depth
+                outcome.tokens_spent += 1
+                replied.add(node)
+                carry -= 1
+            else:
+                self_entry = get_self_entry(node)
+                if self_entry is not None:
+                    # "The node can return its own nodeID if it has no
+                    # trusted agent list" — this also costs a token, which
+                    # is how I in Fig. 4 'uses up the last token'.
+                    outcome.replies.append(
+                        AgentListReply(responder_ip=node, self_entry=self_entry)
+                    )
+                    outcome.reply_messages += depth
+                    outcome.tokens_spent += 1
+                    replied.add(node)
+                    carry -= 1
+        fan_out(node, carry, depth, came_from)
+    return outcome

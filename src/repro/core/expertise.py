@@ -1,0 +1,97 @@
+"""Agent-expertise tracking (§3.4.3).
+
+After every transaction a peer scores each consulted agent: the *current
+accuracy* ``A_c`` is 1 when the agent's evaluation was consistent with the
+observed transaction result and 0 otherwise, and the running expertise is
+the EWMA ``α·A_c + (1-α)·A_p`` with ``α ∈ (0, 1)``.
+
+The eviction rule is the paper's hirep-θ family: an agent whose expertise
+falls below θ is dropped from the trusted-agent list (Fig. 6 sweeps
+θ ∈ {0.4, 0.6, 0.8}); an *offline* agent with positive expertise is parked
+in the backup cache instead of discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["ExpertiseTracker", "consistent"]
+
+
+def consistent(evaluation: float, outcome: float) -> bool:
+    """Whether an agent's trust evaluation agrees with the observed outcome.
+
+    Both values live in [0, 1]; they agree when they fall on the same side
+    of 0.5 (the paper's good/bad rating scopes are [0.6, 1] and [0, 0.4],
+    so 0.5 separates them cleanly).
+    """
+    return (evaluation >= 0.5) == (outcome >= 0.5)
+
+
+@dataclass
+class ExpertiseTracker:
+    """EWMA expertise of a single agent as seen by one peer.
+
+    ``updates`` counts how many transactions have scored this agent; the
+    derived :attr:`confidence` (``updates / (updates + 1)``) lets estimate
+    computation discount agents with no track record — a fresh agent starts
+    at the paper's initial expertise 1 but has confidence 0 until proven.
+    """
+
+    alpha: float
+    value: float = 1.0
+    updates: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigError(f"alpha must be in (0,1), got {self.alpha}")
+        if not 0.0 <= self.value <= 1.0:
+            raise ConfigError(f"expertise must be in [0,1], got {self.value}")
+        if self.updates < 0:
+            raise ConfigError(f"updates must be >= 0, got {self.updates}")
+
+    @property
+    def confidence(self) -> float:
+        """How much track record backs the expertise value, in [0, 1)."""
+        return self.updates / (self.updates + 1.0)
+
+    def update(self, evaluation: float, outcome: float) -> float:
+        """Fold one transaction's consistency into the running expertise."""
+        a_c = 1.0 if consistent(evaluation, outcome) else 0.0
+        self.value = self.alpha * a_c + (1.0 - self.alpha) * self.value
+        self.updates += 1
+        return self.value
+
+    def update_raw(self, a_c: float) -> float:
+        """Fold a pre-computed accuracy bit (used by attack experiments)."""
+        if a_c not in (0.0, 1.0):
+            raise ConfigError(f"A_c must be 0 or 1, got {a_c}")
+        self.value = self.alpha * a_c + (1.0 - self.alpha) * self.value
+        self.updates += 1
+        return self.value
+
+    def below(self, threshold: float) -> bool:
+        """True when this agent should be evicted under hirep-θ."""
+        return self.value < threshold
+
+    def steps_to_evict(self, threshold: float) -> int:
+        """How many consecutive failures until eviction from the current value.
+
+        Closed form of the EWMA with A_c = 0: value decays by (1-α) each
+        step.  Useful for reasoning about convergence speed vs θ (Fig. 6:
+        a higher threshold gives shorter convergence).
+        """
+        if self.value < threshold:
+            return 0
+        if threshold <= 0.0:
+            return -1  # never reaches a non-positive threshold exactly
+        steps = 0
+        value = self.value
+        while value >= threshold:
+            value *= 1.0 - self.alpha
+            steps += 1
+            if steps > 10_000:
+                return -1
+        return steps

@@ -1,0 +1,104 @@
+"""Agent ranking and selection (§3.4.2).
+
+Given the trusted-agent lists collected during discovery, the requestor:
+
+1. within each received list, ranks agents by weight — the greatest weight
+   gets rank ``n`` (where ``n`` is how many agents the requestor wants), the
+   second greatest ``n-1``, and so on; when a list holds ``m > n`` agents,
+   every agent ranked below ``n - m`` gets rank 0 (i.e. ranks floor at 0);
+2. merges across lists by taking each agent's **highest** rank — this is the
+   defence against bad-mouthing: one genuine high recommendation beats any
+   number of low ones (§4.2.1), at the cost of admitting single
+   ballot-stuffers (ablated in the ``ablations`` experiment);
+3. selects the top ``n`` agents by final rank, breaking ties uniformly at
+   random.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.messages import AgentListEntry
+from repro.crypto.hashing import NodeID
+from repro.errors import ConfigError
+
+__all__ = ["rank_within_list", "merge_ranks", "select_agents"]
+
+
+def rank_within_list(
+    entries: Sequence[AgentListEntry], n: int
+) -> dict[NodeID, int]:
+    """Rank one received list: best weight → n, next → n-1, …, floored at 0."""
+    if n < 1:
+        raise ConfigError(f"requestor must want at least one agent, got {n}")
+    ordered = sorted(entries, key=lambda e: e.weight, reverse=True)
+    ranks: dict[NodeID, int] = {}
+    for position, entry in enumerate(ordered):
+        rank = max(n - position, 0)
+        # An agent duplicated inside one list keeps its best position.
+        prev = ranks.get(entry.agent_node_id)
+        if prev is None or rank > prev:
+            ranks[entry.agent_node_id] = rank
+    return ranks
+
+
+def merge_ranks(
+    per_list_ranks: Sequence[dict[NodeID, int]],
+) -> dict[NodeID, int]:
+    """Merge across lists by the paper's max rule (§3.4.2/§4.2.1)."""
+    merged: dict[NodeID, int] = {}
+    for ranks in per_list_ranks:
+        for node_id, rank in ranks.items():
+            if merged.get(node_id, -1) < rank:
+                merged[node_id] = rank
+    return merged
+
+
+def select_agents(
+    candidates: Sequence[AgentListEntry],
+    per_list_ranks: Sequence[dict[NodeID, int]],
+    n: int,
+    rng: np.random.Generator,
+    *,
+    merge: str = "max",
+) -> list[AgentListEntry]:
+    """Pick the requestor's ``n`` trusted agents.
+
+    Parameters
+    ----------
+    candidates:
+        All distinct entries seen across the received lists (one entry per
+        agent; callers dedupe by nodeID keeping any representative).
+    per_list_ranks:
+        Output of :func:`rank_within_list` per received list.
+    merge:
+        ``"max"`` is the paper's rule; ``"mean"`` averages an agent's ranks
+        across lists (used only by the ablation study).
+    """
+    if n < 1:
+        raise ConfigError(f"must select at least one agent, got {n}")
+    if merge == "max":
+        final = merge_ranks(per_list_ranks)
+    elif merge == "mean":
+        sums: dict[NodeID, float] = {}
+        counts: dict[NodeID, int] = {}
+        for ranks in per_list_ranks:
+            for node_id, rank in ranks.items():
+                sums[node_id] = sums.get(node_id, 0.0) + rank
+                counts[node_id] = counts.get(node_id, 0) + 1
+        final = {nid: sums[nid] / counts[nid] for nid in sums}
+    else:
+        raise ConfigError(f"unknown merge rule {merge!r}")
+
+    by_id = {entry.agent_node_id: entry for entry in candidates}
+    scored = [(final.get(nid, 0), nid) for nid in by_id]
+    if not scored:
+        return []
+    # Random tie-break: shuffle first, then stable-sort by rank descending.
+    order = np.arange(len(scored))
+    rng.shuffle(order)
+    shuffled = [scored[int(i)] for i in order]
+    shuffled.sort(key=lambda pair: pair[0], reverse=True)
+    return [by_id[nid] for _rank, nid in shuffled[:n]]

@@ -1,0 +1,106 @@
+"""The shared simulation substrate ("world") a reputation system runs in.
+
+Fig. 5–8 compare hiREP against the pure-voting baseline *on the same
+network*: same topology, same ground truth, same latencies, same maliciousness
+assignment.  :class:`World` packages that substrate so every system built
+from the same config (and seed) sees a bit-identical environment — the
+baseline comparison then measures the reputation system, not the luck of
+the topology draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import HiRepConfig
+from repro.net.latency import LatencyModel
+from repro.net.network import P2PNetwork
+from repro.net.topology import Topology, topology_for_degree
+from repro.sim.rng import spawn
+
+__all__ = ["World"]
+
+
+@dataclass
+class World:
+    """Topology + network + ground truth + derived RNG streams."""
+
+    config: HiRepConfig
+    topology: Topology
+    network: P2PNetwork
+    truth: np.ndarray
+    malicious_peer: np.ndarray
+    rng_keys: np.random.Generator = field(repr=False, default=None)
+    rng_agents: np.random.Generator = field(repr=False, default=None)
+    rng_workload: np.random.Generator = field(repr=False, default=None)
+    rng_peers: np.random.Generator = field(repr=False, default=None)
+
+    @classmethod
+    def from_config(
+        cls,
+        config: HiRepConfig,
+        latency_model: LatencyModel | None = None,
+        topology: Topology | None = None,
+    ) -> "World":
+        """Deterministically derive the full substrate from the config seed.
+
+        ``topology`` overrides generation — e.g. a snapshot of a
+        :class:`~repro.net.overlay.DynamicOverlay`; its node count must
+        match ``config.network_size``.  All other draws (truth, bandwidth,
+        maliciousness) still come from the seed, so two worlds with the
+        same config and topology are identical.
+        """
+        master = np.random.default_rng(config.seed)
+        (
+            rng_topology,
+            rng_net,
+            rng_keys,
+            rng_truth,
+            rng_agents,
+            rng_workload,
+            rng_peers,
+        ) = spawn(master, 7)
+        if topology is None:
+            topology = topology_for_degree(
+                config.topology_kind,
+                config.network_size,
+                config.avg_neighbors,
+                rng_topology,
+            )
+        elif topology.n != config.network_size:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"supplied topology has {topology.n} nodes but config says "
+                f"{config.network_size}"
+            )
+        network = P2PNetwork(
+            topology,
+            rng_net,
+            latency_model=latency_model,
+            model_transmission=config.model_transmission,
+        )
+        truth = (
+            rng_truth.random(config.network_size) >= config.untrusted_peer_fraction
+        ).astype(np.float64)
+        # Maliciously *voting* peers (Figs. 6–7's attackers in the voting
+        # baseline); drawn from the same stream so both systems agree on
+        # who misbehaves.
+        malicious_peer = rng_truth.random(config.network_size) < config.malicious_fraction
+        return cls(
+            config=config,
+            topology=topology,
+            network=network,
+            truth=truth,
+            malicious_peer=malicious_peer,
+            rng_keys=rng_keys,
+            rng_agents=rng_agents,
+            rng_workload=rng_workload,
+            rng_peers=rng_peers,
+        )
+
+    @property
+    def n(self) -> int:
+        return self.config.network_size

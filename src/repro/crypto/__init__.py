@@ -1,0 +1,24 @@
+"""Cryptographic substrate: RSA / simulated backends, keys, nodeIDs, nonces."""
+
+from repro.crypto.backend import CipherBackend, PrivateKey, PublicKey, get_backend
+from repro.crypto.hashing import NodeID, node_id_from_key, node_id_hex, verify_node_id
+from repro.crypto.keys import KeyPair, PeerKeys
+from repro.crypto.nonce import NonceRegistry
+from repro.crypto.rsa import RSABackend
+from repro.crypto.simulated import SimulatedBackend
+
+__all__ = [
+    "CipherBackend",
+    "PublicKey",
+    "PrivateKey",
+    "get_backend",
+    "NodeID",
+    "node_id_from_key",
+    "node_id_hex",
+    "verify_node_id",
+    "KeyPair",
+    "PeerKeys",
+    "NonceRegistry",
+    "RSABackend",
+    "SimulatedBackend",
+]

@@ -1,0 +1,86 @@
+"""Key containers for hiREP peers (§3.3).
+
+Every peer owns two keypairs:
+
+* the **signature pair** ``(SP, SR)`` — SP's hash is the peer's nodeID;
+  used to sign trust values, transaction reports, and onions;
+* the **anonymity pair** ``(AP, AR)`` — associated with the peer's IP
+  address and used to build/peel onion layers.
+
+Keeping the two roles in distinct fields (rather than reusing one pair)
+matters: SP/nodeID is a *persistent pseudonym* while AP is linkable to the
+IP, and the paper's anonymity argument relies on never mixing the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.backend import CipherBackend, PrivateKey, PublicKey
+from repro.crypto.hashing import NodeID, node_id_from_key
+
+__all__ = ["KeyPair", "PeerKeys"]
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A public/private pair from one backend."""
+
+    public: PublicKey
+    private: PrivateKey
+
+    @classmethod
+    def generate(cls, backend: CipherBackend, rng: np.random.Generator) -> "KeyPair":
+        pub, priv = backend.generate_keypair(rng)
+        return cls(public=pub, private=priv)
+
+
+@dataclass(frozen=True)
+class PeerKeys:
+    """The full key material of one peer."""
+
+    signature: KeyPair
+    anonymity: KeyPair
+    node_id: NodeID = field(default=b"")
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            object.__setattr__(self, "node_id", node_id_from_key(self.signature.public))
+
+    @classmethod
+    def generate(cls, backend: CipherBackend, rng: np.random.Generator) -> "PeerKeys":
+        """Generate both pairs and derive the nodeID."""
+        return cls(
+            signature=KeyPair.generate(backend, rng),
+            anonymity=KeyPair.generate(backend, rng),
+        )
+
+    @property
+    def sp(self) -> PublicKey:
+        """Signature public key (SP)."""
+        return self.signature.public
+
+    @property
+    def sr(self) -> PrivateKey:
+        """Signature private key (SR)."""
+        return self.signature.private
+
+    @property
+    def ap(self) -> PublicKey:
+        """Anonymity public key (AP)."""
+        return self.anonymity.public
+
+    @property
+    def ar(self) -> PrivateKey:
+        """Anonymity private key (AR)."""
+        return self.anonymity.private
+
+    def rotated(self, backend: CipherBackend, rng: np.random.Generator) -> "PeerKeys":
+        """Fresh keypairs for periodic key update (§3.5 last paragraph).
+
+        The caller is responsible for announcing the new SP signed with the
+        old SR so correspondents can map old nodeID → new nodeID.
+        """
+        return PeerKeys.generate(backend, rng)

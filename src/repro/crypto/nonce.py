@@ -1,0 +1,57 @@
+"""Nonce issuance and replay detection.
+
+Nonces appear in three places in the paper: the anonymity-key handshake
+(Fig. 3), trust value request/response matching (§3.5.1–3.5.2), and
+transaction reports (§3.5.3).  :class:`NonceRegistry` provides both sides:
+issuing fresh nonces and rejecting any value seen before.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReplayError
+
+__all__ = ["NonceRegistry"]
+
+_NONCE_BITS = 64
+
+
+class NonceRegistry:
+    """Issue unique nonces and detect replays.
+
+    A bounded LRU-ish eviction keeps memory constant under long simulations:
+    once ``capacity`` nonces are stored, the oldest half is discarded.  That
+    matches deployed replay caches, which only guard a recency window.
+    """
+
+    def __init__(self, rng: np.random.Generator, capacity: int = 100_000) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self._rng = rng
+        self._capacity = capacity
+        self._seen: dict[int, None] = {}  # insertion-ordered set
+        self._issued: set[int] = set()
+
+    def issue(self) -> int:
+        """Return a fresh nonce never issued by this registry before."""
+        while True:
+            nonce = int(self._rng.integers(1, 2**_NONCE_BITS, dtype=np.uint64))
+            if nonce not in self._issued:
+                self._issued.add(nonce)
+                if len(self._issued) > self._capacity:
+                    self._issued = set(list(self._issued)[self._capacity // 2 :])
+                return nonce
+
+    def accept(self, nonce: int) -> None:
+        """Record an incoming nonce; raise :class:`ReplayError` if replayed."""
+        if nonce in self._seen:
+            raise ReplayError(f"nonce {nonce} replayed")
+        self._seen[nonce] = None
+        if len(self._seen) > self._capacity:
+            drop = len(self._seen) // 2
+            for key in list(self._seen)[:drop]:
+                del self._seen[key]
+
+    def has_seen(self, nonce: int) -> bool:
+        return nonce in self._seen

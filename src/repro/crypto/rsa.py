@@ -1,0 +1,150 @@
+"""Textbook RSA backend.
+
+This is deliberately *textbook* RSA (no OAEP/PSS padding): the evaluation
+never depends on cryptographic strength, only on the protocol semantics —
+ciphertexts that only the key owner can open, and signatures bound to the
+signer's public key (from which the nodeID is derived).  The test suite runs
+the full hiREP protocols over this backend to prove they are executable with
+real public-key cryptography; large simulations use the simulated backend.
+
+Payloads are pickled, chunked to fit the modulus, and each chunk is taken
+through modular exponentiation.  Signatures are SHA-256-of-payload raised to
+the private exponent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Any
+
+import numpy as np
+
+from repro.crypto.backend import CipherBackend, PrivateKey, PublicKey
+from repro.crypto.numtheory import generate_prime, modinv
+from repro.errors import CryptoError, KeyMismatchError
+
+__all__ = ["RSABackend", "DEFAULT_BITS"]
+
+DEFAULT_BITS = 512
+_E = 65537
+
+
+def _ser(n: int, d_or_e: int) -> bytes:
+    """Serialize (modulus, exponent) with length prefixes."""
+    nb = n.to_bytes((n.bit_length() + 7) // 8, "big")
+    eb = d_or_e.to_bytes((d_or_e.bit_length() + 7) // 8, "big")
+    return len(nb).to_bytes(2, "big") + nb + len(eb).to_bytes(2, "big") + eb
+
+
+def _deser(blob: bytes) -> tuple[int, int]:
+    ln = int.from_bytes(blob[:2], "big")
+    n = int.from_bytes(blob[2 : 2 + ln], "big")
+    off = 2 + ln
+    le = int.from_bytes(blob[off : off + 2], "big")
+    e = int.from_bytes(blob[off + 2 : off + 2 + le], "big")
+    return n, e
+
+
+class RSABackend(CipherBackend):
+    """Real (toy-sized) RSA; see module docstring for the security caveat."""
+
+    name = "rsa"
+
+    def __init__(self, bits: int = DEFAULT_BITS) -> None:
+        if bits < 128:
+            raise ValueError(f"modulus below 128 bits cannot chunk payloads: {bits}")
+        self.bits = bits
+
+    # -- key generation ----------------------------------------------------
+
+    def generate_keypair(self, rng: np.random.Generator) -> tuple[PublicKey, PrivateKey]:
+        half = self.bits // 2
+        while True:
+            p = generate_prime(half, rng)
+            q = generate_prime(self.bits - half, rng)
+            if p == q:
+                continue
+            n = p * q
+            phi = (p - 1) * (q - 1)
+            if phi % _E == 0:
+                continue
+            d = modinv(_E, phi)
+            return (
+                PublicKey(self.name, _ser(n, _E)),
+                PrivateKey(self.name, _ser(n, d)),
+            )
+
+    # -- encryption --------------------------------------------------------
+
+    def encrypt(self, public: PublicKey, payload: Any) -> bytes:
+        n, e = _deser(public.material)
+        data = pickle.dumps(payload)
+        chunk = (n.bit_length() - 1) // 8 - 3  # marker + 2-byte prefix + chunk < n
+        out = bytearray()
+        blocklen = (n.bit_length() + 7) // 8
+        for i in range(0, len(data), chunk):
+            piece = data[i : i + chunk]
+            # 0x01 marker guards against leading-zero loss in the integer
+            # round trip; the length prefix preserves trailing zero bytes.
+            m = int.from_bytes(b"\x01" + len(piece).to_bytes(2, "big") + piece, "big")
+            c = pow(m, e, n)
+            out += c.to_bytes(blocklen + 2, "big")
+        return bytes(out)
+
+    def decrypt(self, private: PrivateKey, ciphertext: Any) -> Any:
+        if not isinstance(ciphertext, (bytes, bytearray)):
+            raise KeyMismatchError("ciphertext is not RSA data")
+        n, d = _deser(private.material)
+        blocklen = (n.bit_length() + 7) // 8 + 2
+        if len(ciphertext) % blocklen != 0:
+            raise KeyMismatchError("ciphertext length does not match this modulus")
+        data = bytearray()
+        for i in range(0, len(ciphertext), blocklen):
+            c = int.from_bytes(ciphertext[i : i + blocklen], "big")
+            if c >= n:
+                raise KeyMismatchError("ciphertext block exceeds modulus")
+            m = pow(c, d, n)
+            raw = m.to_bytes(blocklen, "big").lstrip(b"\x00")
+            # A correct decryption starts with the 0x01 marker byte.
+            if len(raw) < 3 or raw[0] != 0x01:
+                raise KeyMismatchError("chunk marker missing (wrong key?)")
+            plen = int.from_bytes(raw[1:3], "big")
+            piece = raw[3:]
+            if plen != len(piece):
+                raise KeyMismatchError("chunk length prefix inconsistent (wrong key?)")
+            data += piece
+        try:
+            return pickle.loads(bytes(data))
+        except Exception as exc:  # garbage plaintext ⇒ wrong key
+            raise KeyMismatchError(f"decryption produced unpicklable data: {exc}") from exc
+
+    # -- signatures ----------------------------------------------------------
+
+    def sign(self, private: PrivateKey, payload: Any) -> bytes:
+        n, d = _deser(private.material)
+        digest = int.from_bytes(hashlib.sha256(pickle.dumps(payload)).digest(), "big") % n
+        sig = pow(digest, d, n)
+        return sig.to_bytes((n.bit_length() + 7) // 8 + 1, "big")
+
+    def verify(self, public: PublicKey, payload: Any, signature: Any) -> bool:
+        if not isinstance(signature, (bytes, bytearray)):
+            return False
+        try:
+            n, e = _deser(public.material)
+            sig = int.from_bytes(signature, "big")
+            if sig >= n:
+                return False
+            recovered = pow(sig, e, n)
+            digest = int.from_bytes(hashlib.sha256(pickle.dumps(payload)).digest(), "big") % n
+            return recovered == digest
+        except Exception:
+            return False
+
+
+def keypair_modulus(key: PublicKey | PrivateKey) -> int:
+    """Expose the modulus for tests and diagnostics."""
+    if key.backend != "rsa":
+        raise CryptoError(f"not an RSA key: backend={key.backend!r}")
+    n, _ = _deser(key.material)
+    return n

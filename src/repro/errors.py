@@ -1,0 +1,96 @@
+"""Exception hierarchy for the hiREP reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subsystems raise the most specific subclass available;
+nothing in this package raises bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "EventQueueEmpty",
+    "CryptoError",
+    "KeyMismatchError",
+    "SignatureError",
+    "ReplayError",
+    "NetworkError",
+    "UnknownNodeError",
+    "NotConnectedError",
+    "OnionError",
+    "OnionPeelError",
+    "StaleOnionError",
+    "ProtocolError",
+    "AgentError",
+    "NoTrustedAgentsError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is out of its documented domain."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven into an invalid state."""
+
+
+class EventQueueEmpty(SimulationError):
+    """``step()`` was called on an engine with no pending events."""
+
+
+class CryptoError(ReproError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class KeyMismatchError(CryptoError):
+    """A ciphertext was presented to a key that cannot open it."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed verification."""
+
+
+class ReplayError(CryptoError):
+    """A nonce was observed twice (replay attack detected)."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate failures."""
+
+
+class UnknownNodeError(NetworkError, KeyError):
+    """An operation referenced a node id that is not in the network."""
+
+
+class NotConnectedError(NetworkError):
+    """A direct send was attempted between nodes with no usable path."""
+
+
+class OnionError(ReproError):
+    """Base class for onion-routing failures."""
+
+
+class OnionPeelError(OnionError):
+    """An onion layer could not be peeled with the presented key."""
+
+
+class StaleOnionError(OnionError):
+    """An onion with a sequence number older than one already seen."""
+
+
+class ProtocolError(ReproError):
+    """A hiREP protocol message was malformed or arrived out of order."""
+
+
+class AgentError(ReproError):
+    """Base class for reputation-agent failures."""
+
+
+class NoTrustedAgentsError(AgentError):
+    """A peer needed trusted agents but its list (and backups) are empty."""

@@ -1,0 +1,102 @@
+"""Extension: accuracy and maintenance cost under increasing churn.
+
+§3.4.3's machinery (backup cache, probing, rediscovery) exists because
+unstructured P2P populations churn; the paper never measures it.  This
+experiment sweeps the per-transaction departure probability and reports,
+with the backup cache enabled:
+
+* service continuity — the fraction of queries still answered;
+* trained accuracy — tail MSE;
+* maintenance overhead — discovery + probe messages per transaction.
+
+Expected shape: accuracy degrades gracefully (agents are replaceable, the
+community is large — the same §4.2.4 argument as for DoS), while
+maintenance traffic grows with churn since lists need constant repair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.system import HiRepSystem
+from repro.experiments.common import ExperimentResult, Series
+from repro.net.churn import ChurnModel
+from repro.net.messages import Category
+from repro.workloads.scenarios import default_config
+
+__all__ = ["run", "main", "CHURN_RATES"]
+
+CHURN_RATES = (0.0, 0.02, 0.05, 0.10)
+
+
+def run(
+    network_size: int = 250,
+    transactions: int = 200,
+    seed: int = 2006,
+    churn_rates: tuple[float, ...] = CHURN_RATES,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="churn",
+        title="Accuracy and maintenance cost under churn",
+        x_label="per-transaction leave probability",
+        y_label="(per series)",
+    )
+    cfg = default_config(network_size=network_size, seed=seed).with_(
+        trusted_agents=20,
+        refill_threshold=12,
+        agents_queried=8,
+        onion_relays=3,
+    )
+    xs: list[float] = []
+    mse_y: list[float] = []
+    answered_y: list[float] = []
+    maintenance_y: list[float] = []
+    for rate in churn_rates:
+        churn = (
+            ChurnModel(leave_prob=rate, rejoin_prob=0.4, protected={0})
+            if rate > 0
+            else None
+        )
+        system = HiRepSystem(cfg, churn=churn)
+        system.bootstrap()
+        system.reset_metrics()
+        system.run(transactions, requestor=0)
+        xs.append(rate)
+        mse_y.append(system.mse.tail_mse(transactions // 3))
+        answered_y.append(
+            float(np.mean([o.answered > 0 for o in system.outcomes]))
+        )
+        maintenance = (
+            system.counter.by_category.get(Category.AGENT_DISCOVERY, 0)
+            + system.counter.by_category.get(Category.AGENT_DISCOVERY_REPLY, 0)
+            + system.counter.by_category.get(Category.CONTROL, 0)
+        )
+        maintenance_y.append(maintenance / transactions)
+    result.series.append(Series(name="tail_mse", x=xs, y=mse_y))
+    result.series.append(Series(name="answered_fraction", x=xs, y=answered_y))
+    result.series.append(Series(name="maintenance_msgs_per_tx", x=xs, y=maintenance_y))
+
+    result.note(
+        "service continues under heavy churn (most queries answered) — "
+        + ("HOLDS" if answered_y[-1] > 0.7 else "VIOLATED")
+    )
+    result.note(
+        "accuracy degrades gracefully (MSE < 3x the churn-free level) — "
+        + ("HOLDS" if mse_y[-1] < max(3 * mse_y[0], 0.15) else "VIOLATED")
+    )
+    result.note(
+        "maintenance traffic grows with churn — "
+        + ("HOLDS" if maintenance_y[-1] > maintenance_y[0] else "VIOLATED")
+    )
+    return result
+
+
+def main() -> str:
+    result = run()
+    text = result.render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Export experiment results to JSON and CSV.
+
+``hirep-experiments fig5 --out results/`` writes ``fig5.json`` (full
+result: series, scalars, notes) and ``fig5.csv`` (long format:
+``series,x,y`` rows) so downstream plotting/analysis doesn't have to parse
+terminal output.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["result_to_dict", "write_json", "write_csv", "export_result"]
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serializable view of a result."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "y_label": result.y_label,
+        "series": [
+            {"name": s.name, "x": list(map(float, s.x)), "y": list(map(float, s.y))}
+            for s in result.series
+        ],
+        "scalars": {k: float(v) for k, v in result.scalars.items()},
+        "notes": list(result.notes),
+    }
+
+
+def write_json(result: ExperimentResult, path: Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+    return path
+
+
+def write_csv(result: ExperimentResult, path: Path) -> Path:
+    """Long-format CSV: one row per (series, x, y) point."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", result.x_label or "x", result.y_label or "y"])
+        for series in result.series:
+            for x, y in zip(series.x, series.y):
+                writer.writerow([series.name, x, y])
+    return path
+
+
+def export_result(result: ExperimentResult, out_dir: Path) -> list[Path]:
+    """Write both formats under ``out_dir``; returns the paths."""
+    out_dir = Path(out_dir)
+    return [
+        write_json(result, out_dir / f"{result.experiment_id}.json"),
+        write_csv(result, out_dir / f"{result.experiment_id}.csv"),
+    ]

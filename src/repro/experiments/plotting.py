@@ -1,0 +1,110 @@
+"""Terminal plotting for experiment results.
+
+Renders an :class:`~repro.experiments.common.ExperimentResult` as an ASCII
+line chart so ``hirep-experiments fig5 --plot`` shows the figure's shape
+directly in the terminal, matplotlib-free (the execution environment is
+offline).  One character glyph per series, nearest-cell rasterization,
+labelled y extremes and x range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, Series
+
+__all__ = ["ascii_chart", "render_result_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: list[Series],
+    *,
+    width: int = 70,
+    height: int = 18,
+    y_label: str = "",
+    x_label: str = "",
+    logy: bool = False,
+) -> str:
+    """Rasterize series into a text grid.
+
+    Series may have different x grids; each is interpolated onto the shared
+    x range.  ``logy`` plots log10(y) (useful for Fig. 5/8 where voting and
+    hiREP differ by an order of magnitude).
+    """
+    drawable = [s for s in series if len(s.x) > 0]
+    if not drawable:
+        return "(no data)"
+    xs_all = np.concatenate([np.asarray(s.x, dtype=float) for s in drawable])
+    ys_all = np.concatenate([np.asarray(s.y, dtype=float) for s in drawable])
+    finite = np.isfinite(ys_all)
+    if logy:
+        finite &= ys_all > 0
+    if not finite.any():
+        return "(no finite data)"
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    ys_for_range = np.log10(ys_all[finite]) if logy else ys_all[finite]
+    y_lo, y_hi = float(ys_for_range.min()), float(ys_for_range.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, s in zip(_GLYPHS, drawable):
+        xv = np.asarray(s.x, dtype=float)
+        yv = np.asarray(s.y, dtype=float)
+        ok = np.isfinite(yv)
+        if logy:
+            ok &= yv > 0
+        xv, yv = xv[ok], yv[ok]
+        if xv.size == 0:
+            continue
+        if logy:
+            yv = np.log10(yv)
+        # Interpolate onto one sample per column for continuous lines.
+        cols = np.arange(width)
+        col_x = x_lo + (x_hi - x_lo) * cols / (width - 1)
+        col_y = np.interp(col_x, xv, yv, left=np.nan, right=np.nan)
+        for col, y in zip(cols, col_y):
+            if not np.isfinite(y):
+                continue
+            row = int(round((y_hi - y) / (y_hi - y_lo) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = glyph
+
+    top_label = f"{10**y_hi:.4g}" if logy else f"{y_hi:.4g}"
+    bot_label = f"{10**y_lo:.4g}" if logy else f"{y_lo:.4g}"
+    pad = max(len(top_label), len(bot_label))
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(pad)
+        elif i == height - 1:
+            prefix = bot_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    x_line = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}"
+    lines.append(" " * pad + "  " + x_line)
+    legend = "   ".join(
+        f"{glyph}={s.name}" for glyph, s in zip(_GLYPHS, drawable)
+    )
+    suffix = "  [log y]" if logy else ""
+    lines.append(f"{'y: ' + y_label if y_label else ''}{suffix}")
+    lines.append(f"x: {x_label}   {legend}" if x_label else legend)
+    return "\n".join(lines)
+
+
+def render_result_chart(result: ExperimentResult, *, logy: bool = False) -> str:
+    """Chart an experiment result with its own axis labels."""
+    header = f"== {result.experiment_id}: {result.title} =="
+    chart = ascii_chart(
+        result.series,
+        y_label=result.y_label,
+        x_label=result.x_label,
+        logy=logy,
+    )
+    return f"{header}\n{chart}"

@@ -1,0 +1,204 @@
+"""Command-line entry point: regenerate any table/figure.
+
+Usage::
+
+    hirep-experiments --list
+    hirep-experiments fig5 fig6 --scale small
+    hirep-experiments all --scale paper
+
+``--scale small`` (default) runs CI-sized networks in seconds; ``--scale
+paper`` uses the paper's 1000-peer configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    baseline_comparison,
+    churn_resilience,
+    fig5_traffic,
+    fig6_accuracy,
+    fig7_malicious,
+    fig8_response,
+    report_models,
+    robustness,
+    table1_params,
+    traffic_analysis,
+    traffic_bound,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: experiment id -> (module, small-scale kwargs, paper-scale kwargs)
+EXPERIMENTS = {
+    "table1": (table1_params, {}, {}),
+    "fig5": (
+        fig5_traffic,
+        {"network_size": 300, "transactions": 60},
+        {"network_size": 1000, "transactions": 300},
+    ),
+    "fig6": (
+        fig6_accuracy,
+        {"network_size": 300, "transactions": 150},
+        {"network_size": 1000, "transactions": 400},
+    ),
+    "fig7": (
+        fig7_malicious,
+        {"network_size": 250, "train_transactions": 80, "measure_transactions": 40},
+        {"network_size": 1000, "train_transactions": 200, "measure_transactions": 100},
+    ),
+    "fig8": (
+        fig8_response,
+        {"network_size": 300, "transactions": 60},
+        {"network_size": 1000, "transactions": 200},
+    ),
+    "traffic_bound": (
+        traffic_bound,
+        {"network_size": 200, "transactions": 15},
+        {"network_size": 300, "transactions": 40},
+    ),
+    "robustness": (
+        robustness,
+        {"network_size": 200},
+        {"network_size": 250},
+    ),
+    "ablations": (
+        ablations,
+        {"network_size": 200},
+        {"network_size": 250},
+    ),
+    "baselines": (
+        baseline_comparison,
+        {"network_size": 200, "transactions": 80},
+        {"network_size": 300, "transactions": 150},
+    ),
+    "traffic_analysis": (
+        traffic_analysis,
+        {"network_size": 200, "transactions": 100},
+        {"network_size": 250, "transactions": 200},
+    ),
+    "churn": (
+        churn_resilience,
+        {"network_size": 150, "transactions": 100},
+        {"network_size": 250, "transactions": 200},
+    ),
+    "report_models": (
+        report_models,
+        {"network_size": 150, "transactions": 200, "providers": 8},
+        {"network_size": 250, "transactions": 400},
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (or 'all'); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--scale",
+        choices=("small", "paper"),
+        default="small",
+        help="small = CI-sized, paper = the paper's parameters",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render each figure as an ASCII chart too",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write <experiment>.json and <experiment>.csv under DIR",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the experiment seed (default: the archived runs' 2006)",
+    )
+    parser.add_argument(
+        "--replicate",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run each experiment over N seeds and print mean ± CI per scalar",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    for name in wanted:
+        module, small_kwargs, paper_kwargs = EXPERIMENTS[name]
+        kwargs = dict(small_kwargs if args.scale == "small" else paper_kwargs)
+        if args.seed is not None and name != "table1":
+            kwargs["seed"] = args.seed
+        if args.replicate and name != "table1":
+            from repro.experiments.replication import replicate
+
+            base_seed = args.seed if args.seed is not None else 2006
+            kwargs.pop("seed", None)
+            start = time.perf_counter()
+            rep = replicate(
+                module.run,
+                seeds=range(base_seed, base_seed + args.replicate),
+                **kwargs,
+            )
+            elapsed = time.perf_counter() - start
+            print(rep.render())
+            print(f"   [{name} x{args.replicate} in {elapsed:.1f}s at scale={args.scale}]\n")
+            continue
+        start = time.perf_counter()
+        result = module.run(**kwargs)
+        elapsed = time.perf_counter() - start
+        if name == "table1":
+            module.main()
+        elif name == "baselines":
+            print(baseline_comparison.render_result(result))
+        elif name == "ablations":
+            module_text = []
+            for series in result.series:
+                pairs = ", ".join(
+                    f"{x:g}->{y:.4g}" for x, y in zip(series.x, series.y)
+                )
+                module_text.append(f"  {series.name}: {pairs}")
+            print(f"== {result.experiment_id}: {result.title} ==")
+            print("\n".join(module_text))
+            for note in result.notes:
+                print(f"  note: {note}")
+        else:
+            print(result.render())
+            if args.plot and result.series:
+                from repro.experiments.plotting import render_result_chart
+
+                logy = name in ("fig5", "fig8")  # order-of-magnitude gaps
+                print(render_result_chart(result, logy=logy))
+        if args.out:
+            from repro.experiments.export import export_result
+
+            for path in export_result(result, args.out):
+                print(f"   wrote {path}")
+        print(f"   [{name} completed in {elapsed:.1f}s at scale={args.scale}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

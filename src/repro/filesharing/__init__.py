@@ -1,0 +1,13 @@
+"""File-sharing layer: the deployment scenario hiREP exists for (§1, §3.6)."""
+
+from repro.filesharing.catalog import FileCatalog
+from repro.filesharing.search import SearchResult, file_search
+from repro.filesharing.session import DownloadOutcome, FileSharingSession
+
+__all__ = [
+    "FileCatalog",
+    "SearchResult",
+    "file_search",
+    "DownloadOutcome",
+    "FileSharingSession",
+]

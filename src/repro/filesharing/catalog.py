@@ -1,0 +1,79 @@
+"""File catalog: who shares what, and whether their copies are clean.
+
+The paper's motivating deployment is a file-sharing network suffering
+pollution (§1, citing the KaZaA measurements).  The catalog assigns each
+file a set of replica holders with Zipf-like popularity — popular files
+are replicated widely, exactly the regime where a requestor gets many
+candidate providers and needs the reputation system to choose.  A copy
+served by an untrusted peer (ground truth 0) is polluted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["FileCatalog"]
+
+
+@dataclass
+class FileCatalog:
+    """Replica placement for ``n_files`` over ``n_peers``."""
+
+    n_peers: int
+    n_files: int
+    holders: list[list[int]] = field(default_factory=list)
+
+    @classmethod
+    def generate(
+        cls,
+        n_peers: int,
+        n_files: int,
+        rng: np.random.Generator,
+        *,
+        min_replicas: int = 2,
+        max_replicas: int | None = None,
+        zipf_s: float = 1.0,
+    ) -> "FileCatalog":
+        """Zipf-popular replica placement.
+
+        File 0 is the most popular (most replicas); replica counts decay as
+        ``rank^-s`` down to ``min_replicas``.
+        """
+        if n_peers < 2:
+            raise ConfigError(f"need at least 2 peers, got {n_peers}")
+        if n_files < 1:
+            raise ConfigError(f"need at least 1 file, got {n_files}")
+        if min_replicas < 1:
+            raise ConfigError(f"min_replicas must be >= 1, got {min_replicas}")
+        cap = max_replicas if max_replicas is not None else max(min_replicas, n_peers // 4)
+        cap = min(cap, n_peers)
+        holders: list[list[int]] = []
+        ranks = np.arange(1, n_files + 1, dtype=np.float64)
+        weights = ranks ** (-zipf_s)
+        weights /= weights[0]
+        for f in range(n_files):
+            count = max(min_replicas, int(round(cap * weights[f])))
+            count = min(count, n_peers)
+            picked = rng.choice(n_peers, size=count, replace=False)
+            holders.append(sorted(int(i) for i in picked))
+        return cls(n_peers=n_peers, n_files=n_files, holders=holders)
+
+    def holders_of(self, file_id: int) -> list[int]:
+        try:
+            return self.holders[file_id]
+        except IndexError:
+            raise ConfigError(f"unknown file id {file_id}") from None
+
+    def has_file(self, peer: int, file_id: int) -> bool:
+        return peer in self.holders[file_id]
+
+    def replica_counts(self) -> np.ndarray:
+        return np.asarray([len(h) for h in self.holders], dtype=np.int64)
+
+    def popular_file(self) -> int:
+        """The most replicated file (rank 0 under Zipf placement)."""
+        return int(np.argmax(self.replica_counts()))

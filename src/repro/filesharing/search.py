@@ -1,0 +1,64 @@
+"""Gnutella-style file search over the flooding substrate.
+
+This is Fig. 1's first phase: "a requestor sends out a query request to the
+whole system" and collects provider candidates from query hits.  Search
+traffic is charged per flood edge plus reverse-path hits — the same
+accounting as the voting baseline, because *both systems share this cost*;
+hiREP only changes the trust-value phase that follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.filesharing.catalog import FileCatalog
+from repro.net.flooding import flood_bfs
+from repro.net.topology import Topology
+
+__all__ = ["SearchResult", "file_search"]
+
+
+@dataclass
+class SearchResult:
+    """Candidates found for one query."""
+
+    file_id: int
+    origin: int
+    candidates: list[int] = field(default_factory=list)
+    query_messages: int = 0
+    hit_messages: int = 0
+    depths: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_messages(self) -> int:
+        return self.query_messages + self.hit_messages
+
+    @property
+    def found(self) -> bool:
+        return bool(self.candidates)
+
+
+def file_search(
+    topology: Topology,
+    origin: int,
+    file_id: int,
+    ttl: int,
+    catalog: FileCatalog,
+    *,
+    online=None,
+) -> SearchResult:
+    """Flood a file query; every reached holder returns a query hit."""
+    if ttl < 1:
+        raise ConfigError(f"ttl must be >= 1, got {ttl}")
+    flood = flood_bfs(topology, origin, ttl, online=online)
+    result = SearchResult(file_id=file_id, origin=origin, query_messages=flood.messages)
+    for node, depth in flood.visited.items():
+        if node == origin:
+            continue
+        if catalog.has_file(node, file_id):
+            result.candidates.append(node)
+            result.depths[node] = depth
+            result.hit_messages += depth  # hit routes back along the path
+    result.candidates.sort()
+    return result

@@ -1,0 +1,132 @@
+"""The full §3.6 transaction: query → candidates → trust check → download.
+
+"The basic query process in a P2P system with hiREP is similar as the
+typical query process in other P2P reputation systems … except that the
+trust value request will not be broadcast to the whole system but [to the]
+requestor's trusted agents.  After receiving the trust values, the
+requestor computes the final estimated trust value of the potential file
+providers and selects the one with the highest estimated trust value to
+download the file."
+
+:class:`FileSharingSession` runs that loop over a live
+:class:`~repro.core.system.HiRepSystem` (or any baseline with the same
+``run_transaction`` shape) and a :class:`FileCatalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.filesharing.catalog import FileCatalog
+from repro.filesharing.search import SearchResult, file_search
+
+__all__ = ["DownloadOutcome", "FileSharingSession"]
+
+
+@dataclass
+class DownloadOutcome:
+    """One complete download attempt."""
+
+    file_id: int
+    requestor: int
+    provider: int | None
+    clean: bool
+    candidates: int
+    search_messages: int
+    trust_messages: int
+    estimates: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.provider is not None and self.clean
+
+
+class FileSharingSession:
+    """Drives downloads for one requestor over a reputation system."""
+
+    def __init__(
+        self,
+        system,
+        catalog: FileCatalog,
+        requestor: int,
+        *,
+        max_candidates: int = 5,
+    ) -> None:
+        """``system`` needs ``topology``, ``config``, ``truth``,
+        ``network.is_online`` and ``run_transaction(requestor, provider)``
+        — both :class:`HiRepSystem` and the baselines qualify."""
+        if max_candidates < 1:
+            raise ConfigError(f"max_candidates must be >= 1, got {max_candidates}")
+        self.system = system
+        self.catalog = catalog
+        self.requestor = requestor
+        self.max_candidates = max_candidates
+        self.downloads: list[DownloadOutcome] = []
+
+    def search(self, file_id: int) -> SearchResult:
+        return file_search(
+            self.system.topology,
+            self.requestor,
+            file_id,
+            self.system.config.ttl,
+            self.catalog,
+            online=self.system.network.is_online,
+        )
+
+    def download(self, file_id: int) -> DownloadOutcome:
+        """Query, check candidate trust values, download from the best."""
+        search = self.search(file_id)
+        candidates = [c for c in search.candidates if c != self.requestor]
+        candidates = candidates[: self.max_candidates]
+        if not candidates:
+            outcome = DownloadOutcome(
+                file_id=file_id,
+                requestor=self.requestor,
+                provider=None,
+                clean=False,
+                candidates=0,
+                search_messages=search.total_messages,
+                trust_messages=0,
+            )
+            self.downloads.append(outcome)
+            return outcome
+
+        estimates: dict[int, float] = {}
+        trust_messages = 0
+        for provider in candidates:
+            tx = self.system.run_transaction(
+                requestor=self.requestor, provider=provider
+            )
+            estimates[provider] = tx.estimate
+            trust_messages += getattr(tx, "trust_messages", getattr(tx, "messages", 0))
+        best = max(estimates, key=estimates.get)
+        outcome = DownloadOutcome(
+            file_id=file_id,
+            requestor=self.requestor,
+            provider=best,
+            clean=bool(self.system.truth[best] == 1.0),
+            candidates=len(candidates),
+            search_messages=search.total_messages,
+            trust_messages=trust_messages,
+            estimates=estimates,
+        )
+        self.downloads.append(outcome)
+        return outcome
+
+    # -- aggregate statistics ------------------------------------------------
+
+    def clean_rate(self) -> float:
+        """Fraction of completed downloads that were clean."""
+        done = [d for d in self.downloads if d.provider is not None]
+        if not done:
+            return float("nan")
+        return float(np.mean([d.clean for d in done]))
+
+    def hit_rate(self) -> float:
+        """Fraction of queries that found at least one provider."""
+        if not self.downloads:
+            return float("nan")
+        return float(np.mean([d.candidates > 0 for d in self.downloads]))

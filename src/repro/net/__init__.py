@@ -1,0 +1,57 @@
+"""Unstructured P2P network substrate."""
+
+from repro.net.churn import ChurnModel, ChurnStats
+from repro.net.flooding import FloodResult, flood_async, flood_bfs
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyMap,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.messages import Category, NetMessage
+from repro.net.network import P2PNetwork
+from repro.net.overlay import DynamicOverlay
+from repro.net.node import (
+    AGENT_BANDWIDTH_CUTOFF_KBPS,
+    BandwidthProfile,
+    DEFAULT_BANDWIDTH_PROFILE,
+    NetNode,
+    assign_bandwidths,
+)
+from repro.net.topology import (
+    Topology,
+    power_law_topology,
+    random_topology,
+    ring_lattice,
+    small_world_topology,
+    topology_for_degree,
+)
+
+__all__ = [
+    "DynamicOverlay",
+    "ChurnModel",
+    "ChurnStats",
+    "FloodResult",
+    "flood_async",
+    "flood_bfs",
+    "ConstantLatency",
+    "LatencyMap",
+    "LatencyModel",
+    "LogNormalLatency",
+    "UniformLatency",
+    "Category",
+    "NetMessage",
+    "P2PNetwork",
+    "AGENT_BANDWIDTH_CUTOFF_KBPS",
+    "BandwidthProfile",
+    "DEFAULT_BANDWIDTH_PROFILE",
+    "NetNode",
+    "assign_bandwidths",
+    "Topology",
+    "power_law_topology",
+    "random_topology",
+    "ring_lattice",
+    "small_world_topology",
+    "topology_for_degree",
+]

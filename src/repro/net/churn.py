@@ -1,0 +1,83 @@
+"""Node churn (join/leave) model.
+
+hiREP's backup-agent cache and list-maintenance logic (§3.4.3) exist to
+tolerate churn — trusted agents that go offline with positive accuracy are
+parked in the backup cache and probed again later.  :class:`ChurnModel`
+drives that behaviour in experiments: between transactions it flips each
+online node offline with probability ``leave_prob`` and each offline node
+back online with probability ``rejoin_prob`` (an on/off Markov process whose
+stationary online fraction is ``rejoin / (leave + rejoin)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.network import P2PNetwork
+
+__all__ = ["ChurnModel", "ChurnStats"]
+
+
+@dataclass
+class ChurnStats:
+    """Cumulative churn bookkeeping."""
+
+    departures: int = 0
+    rejoins: int = 0
+
+
+class ChurnModel:
+    """Two-state Markov churn applied across a network.
+
+    Parameters
+    ----------
+    leave_prob:
+        Per-step probability an online node goes offline.
+    rejoin_prob:
+        Per-step probability an offline node comes back.
+    protected:
+        Node indices that never churn (e.g. the node under test).
+    """
+
+    def __init__(
+        self,
+        leave_prob: float,
+        rejoin_prob: float = 0.5,
+        protected: set[int] | None = None,
+    ) -> None:
+        if not 0 <= leave_prob <= 1:
+            raise ConfigError(f"leave_prob must be in [0,1], got {leave_prob}")
+        if not 0 <= rejoin_prob <= 1:
+            raise ConfigError(f"rejoin_prob must be in [0,1], got {rejoin_prob}")
+        self.leave_prob = leave_prob
+        self.rejoin_prob = rejoin_prob
+        self.protected = protected or set()
+        self.stats = ChurnStats()
+
+    def step(self, network: P2PNetwork, rng: np.random.Generator) -> None:
+        """Apply one churn round to every unprotected node."""
+        if self.leave_prob == 0 and self.rejoin_prob == 0:
+            return
+        draws = rng.random(network.n)
+        for node in network.nodes:
+            idx = node.node_index
+            if idx in self.protected:
+                continue
+            if node.online:
+                if draws[idx] < self.leave_prob:
+                    node.online = False
+                    self.stats.departures += 1
+            else:
+                if draws[idx] < self.rejoin_prob:
+                    node.online = True
+                    self.stats.rejoins += 1
+
+    def expected_online_fraction(self) -> float:
+        """Stationary fraction of nodes online under this model."""
+        total = self.leave_prob + self.rejoin_prob
+        if total == 0:
+            return 1.0
+        return self.rejoin_prob / total

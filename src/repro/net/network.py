@@ -1,0 +1,201 @@
+"""The simulated P2P network.
+
+:class:`P2PNetwork` binds together a topology, per-node state, a latency
+map, a message counter, and the discrete-event engine.  It offers two
+delivery primitives:
+
+* :meth:`send` — direct IP unicast between *any* two online nodes (the
+  underlying Internet; onion relays and agents are addressed this way);
+* :meth:`send_overlay` — unicast restricted to overlay neighbours (what
+  flooding uses).
+
+Upper layers register a per-node handler with :meth:`register_handler`; the
+network schedules ``handler(message)`` after the sampled hop latency *plus*
+the serialization time of the message on the destination's access link.
+Access links are modelled as FIFO queues: back-to-back messages to the same
+node queue behind each other, which is what makes flooding-based polling
+slow in practice (hundreds of vote responses funnel into one downlink) and
+is the congestion effect hiREP's O(C) design avoids.  Set
+``model_transmission=False`` to disable and get pure propagation delay.
+
+Messages to offline nodes are counted (the sender spent the traffic) but
+silently dropped, matching how UDP-style P2P deployments behave.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import NetworkError, NotConnectedError, UnknownNodeError
+from repro.net.latency import LatencyMap, LatencyModel, UniformLatency
+from repro.net.messages import Category, NetMessage
+from repro.net.node import (
+    BandwidthProfile,
+    DEFAULT_BANDWIDTH_PROFILE,
+    NetNode,
+    assign_bandwidths,
+)
+from repro.net.topology import Topology
+from repro.sim.engine import SimEngine
+from repro.sim.metrics import MessageCounter
+
+__all__ = ["P2PNetwork"]
+
+Handler = Callable[[NetMessage], None]
+
+
+class P2PNetwork:
+    """Simulated unstructured P2P network over a fixed topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        rng: np.random.Generator,
+        *,
+        engine: SimEngine | None = None,
+        latency_model: LatencyModel | None = None,
+        bandwidth_profile: BandwidthProfile = DEFAULT_BANDWIDTH_PROFILE,
+        model_transmission: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.engine = engine if engine is not None else SimEngine()
+        self.rng = rng
+        self.latency = LatencyMap(latency_model or UniformLatency(), rng)
+        self.counter = MessageCounter()
+        self.model_transmission = model_transmission
+        self._link_free_at: dict[int, float] = {}
+        #: Passive wiretaps: called with every NetMessage at send time.
+        #: Used by the §4.2.4 traffic-analysis adversary — observers see
+        #: (src, dst, category, size), never payload plaintext.
+        self.observers: list[Handler] = []
+        bandwidths = assign_bandwidths(topology.n, rng, bandwidth_profile)
+        self.nodes: list[NetNode] = [
+            NetNode(
+                node_index=i,
+                bandwidth_kbps=float(bandwidths[i]),
+                neighbors=topology.neighbors(i),
+            )
+            for i in range(topology.n)
+        ]
+        self._handlers: dict[int, Handler] = {}
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    def node(self, index: int) -> NetNode:
+        try:
+            return self.nodes[index]
+        except IndexError:
+            raise UnknownNodeError(index) from None
+
+    def online_nodes(self) -> list[int]:
+        return [n.node_index for n in self.nodes if n.online]
+
+    def agent_capable_nodes(self) -> list[int]:
+        """Indices of online nodes clearing the 64 kbps agent cutoff."""
+        return [n.node_index for n in self.nodes if n.online and n.can_be_agent]
+
+    # -- liveness ------------------------------------------------------------
+
+    def set_online(self, index: int, online: bool) -> None:
+        self.node(index).online = online
+
+    def is_online(self, index: int) -> bool:
+        return self.node(index).online
+
+    # -- handlers ------------------------------------------------------------
+
+    def register_handler(self, index: int, handler: Handler) -> None:
+        self.node(index)  # validates the index
+        self._handlers[index] = handler
+
+    # -- delivery ------------------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        *,
+        category: str = Category.CONTROL,
+        count: bool = True,
+        size_bytes: int | None = None,
+    ) -> NetMessage:
+        """Direct IP unicast; returns the in-flight message envelope.
+
+        The message is charged to the counter whether or not the destination
+        is online — the sender spent the bandwidth either way.  Delivery time
+        is propagation latency plus FIFO serialization on the destination's
+        access link (see module docstring).
+        """
+        src_node = self.node(src)
+        dst_node = self.node(dst)
+        if not src_node.online:
+            raise NetworkError(f"node {src} is offline and cannot send")
+        msg = NetMessage(
+            src=src,
+            dst=dst,
+            payload=payload,
+            category=category,
+            sent_at=self.engine.now,
+        )
+        if size_bytes is not None:
+            msg.size_bytes = size_bytes
+        if count:
+            self.counter.count(category)
+        for observer in self.observers:
+            observer(msg)
+        arrival = self.engine.now + self.latency.between(src, dst)
+        if self.model_transmission:
+            transmit = self.transmission_ms(dst_node.bandwidth_kbps, msg.size_bytes)
+            start = max(arrival, self._link_free_at.get(dst, 0.0))
+            done = start + transmit
+            self._link_free_at[dst] = done
+        else:
+            done = arrival
+        self.engine.schedule(done, lambda: self._deliver(msg), label=category)
+        return msg
+
+    @staticmethod
+    def transmission_ms(bandwidth_kbps: float, size_bytes: int) -> float:
+        """Serialization time of ``size_bytes`` on a ``bandwidth_kbps`` link."""
+        return (size_bytes * 8.0) / bandwidth_kbps  # bits / (kbit/s) = ms
+
+    def send_overlay(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        *,
+        category: str = Category.FLOOD_QUERY,
+        count: bool = True,
+    ) -> NetMessage:
+        """Unicast restricted to overlay neighbours."""
+        if dst not in self.topology.neighbors(src):
+            raise NotConnectedError(f"{dst} is not an overlay neighbour of {src}")
+        return self.send(src, dst, payload, category=category, count=count)
+
+    def _deliver(self, msg: NetMessage) -> None:
+        node = self.nodes[msg.dst]
+        if not node.online:
+            return  # dropped on the floor, cost already charged
+        handler = self._handlers.get(msg.dst)
+        if handler is not None:
+            handler(msg)
+
+    # -- convenience ---------------------------------------------------------
+
+    def path_latency(self, path: list[int]) -> float:
+        """Sum of one-way hop latencies along an explicit node path."""
+        return float(
+            sum(self.latency.between(u, v) for u, v in zip(path, path[1:]))
+        )
+
+    def run(self, **kwargs: Any) -> int:
+        """Drain the event queue (delegates to the engine)."""
+        return self.engine.run(**kwargs)

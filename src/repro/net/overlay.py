@@ -1,0 +1,297 @@
+"""Dynamic Gnutella-style overlay membership.
+
+The experiments run over a static topology snapshot, as the paper's do —
+but the system hiREP targets is a *living* Gnutella overlay where peers
+join through a bootstrap node, discover neighbours with ping/pong, and
+repair their neighbour sets when peers vanish.  :class:`DynamicOverlay`
+implements that membership layer (Gnutella 0.6 semantics, the spec the
+paper cites for its TTL default):
+
+* **join** — the newcomer sends a Ping through a bootstrap node; every
+  node reached within the ping TTL answers with a Pong carrying its
+  address; the newcomer opens connections to up to ``target_degree`` of
+  the candidates.
+* **leave** — connections drop; counterparties notice.
+* **repair** — nodes below ``min_degree`` re-ping to top up.
+
+Snapshots (:meth:`as_topology`) feed the same flooding/discovery code the
+experiments use, so churn studies can rewire mid-run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigError, UnknownNodeError
+from repro.net.topology import Topology
+from repro.sim.metrics import MessageCounter
+
+__all__ = ["DynamicOverlay"]
+
+PING = "gnutella_ping"
+PONG = "gnutella_pong"
+
+
+class DynamicOverlay:
+    """Mutable unstructured overlay with Gnutella join/leave/repair."""
+
+    def __init__(
+        self,
+        *,
+        target_degree: int = 4,
+        min_degree: int = 2,
+        max_degree: int = 12,
+        ping_ttl: int = 3,
+        counter: MessageCounter | None = None,
+    ) -> None:
+        if not 1 <= min_degree <= target_degree <= max_degree:
+            raise ConfigError(
+                f"need 1 <= min {min_degree} <= target {target_degree} <= max {max_degree}"
+            )
+        if ping_ttl < 1:
+            raise ConfigError(f"ping_ttl must be >= 1, got {ping_ttl}")
+        self.target_degree = target_degree
+        self.min_degree = min_degree
+        self.max_degree = max_degree
+        self.ping_ttl = ping_ttl
+        self.counter = counter or MessageCounter()
+        self._adj: dict[int, set[int]] = {}
+
+    # -- membership queries ---------------------------------------------------
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def members(self) -> list[int]:
+        return sorted(self._adj)
+
+    def neighbors(self, node: int) -> set[int]:
+        try:
+            return set(self._adj[node])
+        except KeyError:
+            raise UnknownNodeError(node) from None
+
+    def degree(self, node: int) -> int:
+        return len(self._adj.get(node, ()))
+
+    # -- edges -----------------------------------------------------------------
+
+    def _connect(self, a: int, b: int) -> bool:
+        if a == b or b in self._adj[a]:
+            return False
+        if len(self._adj[a]) >= self.max_degree or len(self._adj[b]) >= self.max_degree:
+            return False
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+        return True
+
+    def _disconnect(self, a: int, b: int) -> None:
+        self._adj.get(a, set()).discard(b)
+        self._adj.get(b, set()).discard(a)
+
+    # -- ping/pong discovery -----------------------------------------------------
+
+    def ping_sweep(self, origin: int) -> list[int]:
+        """Flood a Ping from ``origin``; return ponging nodes by proximity.
+
+        Charges one ``gnutella_ping`` message per edge traversal and one
+        ``gnutella_pong`` per responder per hop back, exactly like the
+        query accounting elsewhere.
+        """
+        if origin not in self._adj:
+            raise UnknownNodeError(origin)
+        seen = {origin: 0}
+        queue: deque[tuple[int, int, int]] = deque([(origin, 0, -1)])
+        order: list[int] = []
+        while queue:
+            node, depth, came_from = queue.popleft()
+            if depth >= self.ping_ttl:
+                continue
+            for nbr in self._adj[node]:
+                if nbr == came_from:
+                    continue
+                self.counter.count(PING)
+                if nbr in seen:
+                    continue
+                seen[nbr] = depth + 1
+                order.append(nbr)
+                self.counter.count(PONG, depth + 1)  # pong routes back
+                queue.append((nbr, depth + 1, node))
+        return order
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def seed(self, nodes: list[int]) -> None:
+        """Install founding members as a connected ring (no ping traffic)."""
+        if len(nodes) < 2:
+            raise ConfigError("need at least two founding members")
+        for node in nodes:
+            self._adj.setdefault(node, set())
+        for a, b in zip(nodes, nodes[1:] + nodes[:1]):
+            self._connect(a, b)
+
+    def join(self, node: int, bootstrap: int, rng: np.random.Generator) -> int:
+        """Join via ``bootstrap``; returns how many connections were made."""
+        if bootstrap not in self._adj:
+            raise UnknownNodeError(bootstrap)
+        if node in self._adj:
+            raise ConfigError(f"node {node} is already a member")
+        candidates = [bootstrap] + self.ping_sweep(bootstrap)
+        self._adj[node] = set()
+        order = np.arange(len(candidates))
+        rng.shuffle(order)
+        made = 0
+        for i in order:
+            if made >= self.target_degree:
+                break
+            if self._connect(node, candidates[int(i)]):
+                self.counter.count("gnutella_connect")
+                made += 1
+        if made == 0:
+            # Every pinged host was saturated: rather than strand the
+            # newcomer, the least-loaded candidate drops one link to a
+            # well-connected neighbour and accepts (connection churn, the
+            # way saturated Gnutella hosts rotate slots).
+            host = min(candidates, key=lambda c: len(self._adj[c]))
+            droppable = [
+                n for n in self._adj[host] if len(self._adj[n]) > self.min_degree
+            ]
+            if droppable:
+                victim = max(droppable, key=lambda n: len(self._adj[n]))
+                self._disconnect(host, victim)
+            if self._connect(node, host):
+                self.counter.count("gnutella_connect")
+                made = 1
+        return made
+
+    def leave(self, node: int) -> list[int]:
+        """Remove a member; returns its orphaned ex-neighbours."""
+        nbrs = self._adj.pop(node, None)
+        if nbrs is None:
+            raise UnknownNodeError(node)
+        for nbr in nbrs:
+            self._adj[nbr].discard(node)
+        return sorted(nbrs)
+
+    def _components(self) -> list[list[int]]:
+        seen: set[int] = set()
+        components: list[list[int]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp = [start]
+            seen.add(start)
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nbr in self._adj[node]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        comp.append(nbr)
+                        stack.append(nbr)
+            components.append(comp)
+        return components
+
+    def repair(self, rng: np.random.Generator) -> int:
+        """Top up under-connected members and re-bridge partitions.
+
+        Degree top-up alone cannot heal a partition where every node kept
+        ``min_degree`` neighbours inside its own island; the second phase
+        models the host-cache reconnect real Gnutella clients perform —
+        each stray component links back to the largest one (with an edge
+        swap if the chosen hosts are saturated).  Returns edges added.
+        """
+        added = 0
+        added += self._bridge_partitions(rng)
+        for node in list(self._adj):
+            while self.degree(node) < self.min_degree and len(self._adj) > 1:
+                candidates = self.ping_sweep(node)
+                if not candidates:
+                    # Partitioned: fall back to the host cache (a handful
+                    # of random members, like a bootstrap server re-contact).
+                    others = [m for m in self._adj if m != node and m not in self._adj[node]]
+                    if not others:
+                        break
+                    idx = rng.permutation(len(others))[:10]
+                    candidates = [others[int(i)] for i in idx]
+                    # Prefer hosts with spare slots.
+                    candidates.sort(key=lambda c: len(self._adj[c]))
+                fresh = [c for c in candidates if c not in self._adj[node]]
+                connected = False
+                for candidate in fresh:
+                    if self._connect(node, candidate):
+                        self.counter.count("gnutella_connect")
+                        added += 1
+                        connected = True
+                        break
+                if not connected:
+                    break  # every reachable host saturated or adjacent
+        return added
+
+    def _bridge_partitions(self, rng: np.random.Generator) -> int:
+        """Link every stray component to the largest one; returns edges."""
+        components = self._components()
+        if len(components) <= 1:
+            return 0
+        components.sort(key=len, reverse=True)
+        main = components[0]
+        added = 0
+        for stray in components[1:]:
+            a = min(stray, key=lambda n: len(self._adj[n]))
+            b = min(main, key=lambda n: len(self._adj[n]))
+            if not self._connect(a, b):
+                # Make room on the saturated side(s) by dropping one link
+                # to a well-connected neighbour, then retry.
+                for endpoint in (a, b):
+                    if len(self._adj[endpoint]) >= self.max_degree:
+                        droppable = [
+                            n
+                            for n in self._adj[endpoint]
+                            if len(self._adj[n]) > self.min_degree
+                        ]
+                        if droppable:
+                            victim = max(droppable, key=lambda n: len(self._adj[n]))
+                            self._disconnect(endpoint, victim)
+                if not self._connect(a, b):
+                    continue
+            self.counter.count("gnutella_connect")
+            added += 1
+        return added
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def as_topology(self) -> Topology:
+        """Immutable snapshot with dense 0..n-1 ids, for the flood/search code.
+
+        Returns the topology plus nothing else; use :meth:`index_map` when
+        you need to translate overlay ids to snapshot indices.
+        """
+        members = self.members()
+        index = {m: i for i, m in enumerate(members)}
+        adjacency = tuple(
+            tuple(sorted(index[n] for n in self._adj[m])) for m in members
+        )
+        return Topology(n=len(members), adjacency=adjacency)
+
+    def index_map(self) -> dict[int, int]:
+        """Overlay node id → snapshot index (matching :meth:`as_topology`)."""
+        return {m: i for i, m in enumerate(self.members())}
+
+    def is_connected(self) -> bool:
+        if not self._adj:
+            return True
+        start = next(iter(self._adj))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nbr in self._adj[node]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        return len(seen) == len(self._adj)

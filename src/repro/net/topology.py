@@ -1,0 +1,233 @@
+"""Overlay topology generators.
+
+The paper generates "a P2P network with power law topology using BRITE"
+(§5.2).  BRITE's router-level Barabási model is preferential attachment, so
+:func:`power_law_topology` (Barabási–Albert) is a faithful substitute — the
+evaluation depends only on the degree distribution and the average node
+degree, which BA reproduces.  ER random graphs, Watts–Strogatz small worlds
+and ring lattices are provided for sensitivity studies.
+
+A topology is an immutable :class:`Topology`: ``n`` nodes with an adjacency
+list of sorted int arrays.  All generators guarantee a connected graph
+(isolated components are stitched to the giant component with single edges,
+a standard BRITE-style post-pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Topology",
+    "power_law_topology",
+    "random_topology",
+    "small_world_topology",
+    "ring_lattice",
+    "topology_for_degree",
+]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected connected overlay graph."""
+
+    n: int
+    adjacency: tuple[tuple[int, ...], ...]
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        return self.adjacency[node]
+
+    def degree(self, node: int) -> int:
+        return len(self.adjacency[node])
+
+    def degrees(self) -> np.ndarray:
+        return np.asarray([len(a) for a in self.adjacency], dtype=np.int64)
+
+    def average_degree(self) -> float:
+        return float(self.degrees().mean())
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Each undirected edge once, as (u, v) with u < v."""
+        out = []
+        for u, nbrs in enumerate(self.adjacency):
+            for v in nbrs:
+                if u < v:
+                    out.append((u, v))
+        return out
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return True
+        seen = np.zeros(self.n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in self.adjacency[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == self.n
+
+
+def _finalize(n: int, adj: list[set[int]]) -> Topology:
+    """Stitch disconnected components together and freeze the adjacency."""
+    _connect_components(n, adj)
+    return Topology(n=n, adjacency=tuple(tuple(sorted(s)) for s in adj))
+
+
+def _connect_components(n: int, adj: list[set[int]]) -> None:
+    if n == 0:
+        return
+    seen = [False] * n
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        comp = [start]
+        seen[start] = True
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    stack.append(v)
+        components.append(comp)
+    # Chain every extra component to the first one.
+    anchor = components[0][0]
+    for comp in components[1:]:
+        adj[anchor].add(comp[0])
+        adj[comp[0]].add(anchor)
+
+
+def power_law_topology(
+    n: int, avg_degree: float, rng: np.random.Generator
+) -> Topology:
+    """Barabási–Albert preferential attachment with ⟨k⟩ ≈ ``avg_degree``.
+
+    Each incoming node attaches ``m ≈ avg_degree / 2`` edges to existing
+    nodes chosen proportionally to their degree, yielding the power-law
+    degree distribution BRITE produces for router-level topologies.
+    """
+    if n < 2:
+        raise ConfigError(f"need at least 2 nodes, got {n}")
+    if avg_degree < 1:
+        raise ConfigError(f"avg_degree must be >= 1, got {avg_degree}")
+    # Fractional attachment: mix m_lo and m_hi edges per new node so odd
+    # target degrees (e.g. 3) land between the even BA degrees 2m.
+    m_target = avg_degree / 2.0
+    m_lo = max(1, int(np.floor(m_target)))
+    m_hi = max(1, int(np.ceil(m_target)))
+    hi_prob = m_target - m_lo if m_hi > m_lo else 0.0
+    if m_hi >= n:
+        raise ConfigError(f"avg_degree {avg_degree} too large for {n} nodes")
+
+    adj: list[set[int]] = [set() for _ in range(n)]
+    # Seed clique of m_hi + 1 nodes.
+    seed = m_hi + 1
+    for u in range(seed):
+        for v in range(u + 1, seed):
+            adj[u].add(v)
+            adj[v].add(u)
+    # repeated-nodes list: preferential attachment by sampling endpoints.
+    repeated: list[int] = []
+    for u in range(seed):
+        repeated.extend([u] * len(adj[u]))
+    for u in range(seed, n):
+        m = m_hi if (hi_prob > 0 and rng.random() < hi_prob) else m_lo
+        targets: set[int] = set()
+        while len(targets) < m:
+            pick = repeated[int(rng.integers(0, len(repeated)))]
+            if pick != u:
+                targets.add(pick)
+        for v in targets:
+            adj[u].add(v)
+            adj[v].add(u)
+            repeated.append(u)
+            repeated.append(v)
+    return _finalize(n, adj)
+
+
+def random_topology(n: int, avg_degree: float, rng: np.random.Generator) -> Topology:
+    """Erdős–Rényi G(n, p) with p chosen for the requested average degree."""
+    if n < 2:
+        raise ConfigError(f"need at least 2 nodes, got {n}")
+    p = min(1.0, avg_degree / (n - 1))
+    adj: list[set[int]] = [set() for _ in range(n)]
+    # Vectorized upper-triangle coin flips in manageable blocks.
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(iu.size) < p
+    for u, v in zip(iu[mask], ju[mask]):
+        adj[int(u)].add(int(v))
+        adj[int(v)].add(int(u))
+    return _finalize(n, adj)
+
+
+def small_world_topology(
+    n: int, avg_degree: float, rng: np.random.Generator, rewire: float = 0.1
+) -> Topology:
+    """Watts–Strogatz ring rewiring."""
+    if not 0 <= rewire <= 1:
+        raise ConfigError(f"rewire probability must be in [0,1], got {rewire}")
+    k = max(2, int(round(avg_degree / 2)) * 2)  # even neighbour count
+    if k >= n:
+        raise ConfigError(f"avg_degree {avg_degree} too large for {n} nodes")
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for u in range(n):
+        for off in range(1, k // 2 + 1):
+            v = (u + off) % n
+            adj[u].add(v)
+            adj[v].add(u)
+    for u in range(n):
+        for off in range(1, k // 2 + 1):
+            if rng.random() < rewire:
+                v_old = (u + off) % n
+                if v_old not in adj[u]:
+                    continue
+                candidates = [
+                    w for w in range(n) if w != u and w not in adj[u]
+                ]
+                if not candidates:
+                    continue
+                v_new = candidates[int(rng.integers(0, len(candidates)))]
+                adj[u].discard(v_old)
+                adj[v_old].discard(u)
+                adj[u].add(v_new)
+                adj[v_new].add(u)
+    return _finalize(n, adj)
+
+
+def ring_lattice(n: int, k: int = 2) -> Topology:
+    """Deterministic ring where every node links to ``k`` nearest on each side."""
+    if n < 3:
+        raise ConfigError(f"ring needs at least 3 nodes, got {n}")
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for u in range(n):
+        for off in range(1, k + 1):
+            v = (u + off) % n
+            adj[u].add(v)
+            adj[v].add(u)
+    return _finalize(n, adj)
+
+
+def topology_for_degree(
+    kind: str, n: int, avg_degree: float, rng: np.random.Generator
+) -> Topology:
+    """Dispatch by name: ``power_law`` | ``random`` | ``small_world`` | ``ring``."""
+    if kind == "power_law":
+        return power_law_topology(n, avg_degree, rng)
+    if kind == "random":
+        return random_topology(n, avg_degree, rng)
+    if kind == "small_world":
+        return small_world_topology(n, avg_degree, rng)
+    if kind == "ring":
+        return ring_lattice(n, max(1, int(avg_degree // 2)))
+    raise ConfigError(f"unknown topology kind {kind!r}")

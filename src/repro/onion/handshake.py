@@ -1,0 +1,228 @@
+"""Anonymity-key exchange with a prospective onion relay (Fig. 3).
+
+When peer P picks node K as an onion-routing relay it must learn K's
+anonymity public key AP_k without a certificate authority.  The four-message
+handshake of the paper:
+
+1. ``P → K``: ``(R_o, AP_p, IP_p)`` — relay request, in the clear.
+2. ``K → P``: ``AP_p(AP_k, IP_k, nonce)`` — K's key, sealed to P.
+3. ``P → K``: ``AP_k(AP_p, IP_p, nonce)`` — verification probe sealed to the
+   claimed AP_k, echoing the nonce.
+4. ``K → P``: ``AP_p(confirmed, IP_k, nonce)`` — confirmation.  "If P cannot
+   receive the confirmation, it knows AP_k is invalid."
+
+The handshake defeats a man-in-the-middle who substitutes its own key for
+AP_k in message 2: the MITM cannot decrypt message 3 re-sealed to the *real*
+AP_k, so no valid confirmation comes back.  The nonce defends against
+replays of old confirmations.
+
+The state machine is pure (no I/O) so it can be unit-tested exhaustively;
+:func:`perform_handshake` drives it over a :class:`~repro.net.network.P2PNetwork`
+with correct message accounting (4 messages, category ``key_exchange``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.backend import CipherBackend, PrivateKey, PublicKey
+from repro.crypto.nonce import NonceRegistry
+from repro.errors import CryptoError, KeyMismatchError, ProtocolError
+from repro.net.messages import Category
+from repro.net.network import P2PNetwork
+
+__all__ = [
+    "RelayRequest",
+    "KeyResponse",
+    "VerifyProbe",
+    "Confirmation",
+    "HandshakeInitiator",
+    "HandshakeResponder",
+    "perform_handshake",
+    "HANDSHAKE_MESSAGES",
+]
+
+#: Messages on the wire per completed handshake.
+HANDSHAKE_MESSAGES = 4
+
+
+@dataclass(frozen=True)
+class RelayRequest:
+    """Message 1: ``(R_o, AP_p, IP_p)``."""
+
+    ap_initiator: PublicKey
+    ip_initiator: int
+
+
+@dataclass(frozen=True)
+class KeyResponse:
+    """Message 2 payload (sealed to AP_p): ``(AP_k, IP_k, nonce)``."""
+
+    ap_relay: PublicKey
+    ip_relay: int
+    nonce: int
+
+
+@dataclass(frozen=True)
+class VerifyProbe:
+    """Message 3 payload (sealed to the claimed AP_k): ``(AP_p, IP_p, nonce)``."""
+
+    ap_initiator: PublicKey
+    ip_initiator: int
+    nonce: int
+
+
+@dataclass(frozen=True)
+class Confirmation:
+    """Message 4 payload (sealed to AP_p): ``("confirmed", IP_k, nonce)``."""
+
+    confirmed: bool
+    ip_relay: int
+    nonce: int
+
+
+class HandshakeInitiator:
+    """P's side of the exchange."""
+
+    def __init__(
+        self,
+        backend: CipherBackend,
+        ap: PublicKey,
+        ar: PrivateKey,
+        ip: int,
+    ) -> None:
+        self._backend = backend
+        self._ap = ap
+        self._ar = ar
+        self._ip = ip
+        self._expected_nonce: int | None = None
+        self._claimed_key: PublicKey | None = None
+        self._claimed_ip: int | None = None
+
+    def request(self) -> RelayRequest:
+        """Produce message 1."""
+        return RelayRequest(ap_initiator=self._ap, ip_initiator=self._ip)
+
+    def on_key_response(self, sealed: Any) -> VerifyProbe | None:
+        """Consume message 2; emit the sealed probe of message 3.
+
+        Returns ``None`` (abort) if the response cannot be opened or is
+        malformed — e.g. it was sealed to someone else's key.
+        """
+        try:
+            payload = self._backend.decrypt(self._ar, sealed)
+        except CryptoError:
+            return None
+        if not isinstance(payload, KeyResponse):
+            return None
+        self._expected_nonce = payload.nonce
+        self._claimed_key = payload.ap_relay
+        self._claimed_ip = payload.ip_relay
+        return VerifyProbe(
+            ap_initiator=self._ap, ip_initiator=self._ip, nonce=payload.nonce
+        )
+
+    def seal_probe(self, probe: VerifyProbe) -> Any:
+        """Seal message 3 to the claimed relay key."""
+        if self._claimed_key is None:
+            raise ProtocolError("no key response processed yet")
+        return self._backend.encrypt(self._claimed_key, probe)
+
+    def on_confirmation(self, sealed: Any) -> PublicKey:
+        """Consume message 4; return the now-verified AP_k.
+
+        Raises
+        ------
+        KeyMismatchError
+            If no valid confirmation can be opened (the claimed key was a
+            MITM substitute, or the nonce does not match).
+        """
+        if self._expected_nonce is None or self._claimed_key is None:
+            raise ProtocolError("handshake not in the confirmation state")
+        try:
+            payload = self._backend.decrypt(self._ar, sealed)
+        except CryptoError as exc:
+            raise KeyMismatchError("confirmation unreadable: relay key invalid") from exc
+        if (
+            not isinstance(payload, Confirmation)
+            or not payload.confirmed
+            or payload.nonce != self._expected_nonce
+            or payload.ip_relay != self._claimed_ip
+        ):
+            raise KeyMismatchError("confirmation invalid: relay key rejected")
+        return self._claimed_key
+
+
+class HandshakeResponder:
+    """K's side of the exchange."""
+
+    def __init__(
+        self,
+        backend: CipherBackend,
+        ap: PublicKey,
+        ar: PrivateKey,
+        ip: int,
+        nonces: NonceRegistry,
+    ) -> None:
+        self._backend = backend
+        self._ap = ap
+        self._ar = ar
+        self._ip = ip
+        self._nonces = nonces
+        self._pending: dict[int, PublicKey] = {}  # nonce -> initiator AP
+
+    def on_request(self, request: RelayRequest) -> Any:
+        """Consume message 1; emit sealed message 2."""
+        nonce = self._nonces.issue()
+        self._pending[nonce] = request.ap_initiator
+        response = KeyResponse(ap_relay=self._ap, ip_relay=self._ip, nonce=nonce)
+        return self._backend.encrypt(request.ap_initiator, response)
+
+    def on_probe(self, sealed: Any) -> Any | None:
+        """Consume message 3; emit sealed message 4 (or None to stay silent).
+
+        Staying silent on any failure is deliberate: an invalid probe must
+        not leak whether decryption worked.
+        """
+        try:
+            probe = self._backend.decrypt(self._ar, sealed)
+        except CryptoError:
+            return None
+        if not isinstance(probe, VerifyProbe):
+            return None
+        initiator_ap = self._pending.pop(probe.nonce, None)
+        if initiator_ap is None:
+            return None  # unknown or replayed nonce
+        confirmation = Confirmation(confirmed=True, ip_relay=self._ip, nonce=probe.nonce)
+        return self._backend.encrypt(initiator_ap, confirmation)
+
+
+def perform_handshake(
+    network: P2PNetwork,
+    backend: CipherBackend,
+    initiator: HandshakeInitiator,
+    responder: HandshakeResponder,
+    initiator_ip: int,
+    responder_ip: int,
+) -> PublicKey:
+    """Run the 4-message exchange, charging 4 ``key_exchange`` messages.
+
+    The exchange is driven synchronously (the latency cost shows up in
+    response-time experiments through the returned elapsed estimate, not the
+    engine clock) — key exchange happens during list maintenance, off the
+    transaction critical path.
+    """
+    request = initiator.request()
+    network.counter.count(Category.KEY_EXCHANGE)
+    sealed_key = responder.on_request(request)
+    network.counter.count(Category.KEY_EXCHANGE)
+    probe = initiator.on_key_response(sealed_key)
+    if probe is None:
+        raise KeyMismatchError(f"relay {responder_ip} sent an unreadable key response")
+    network.counter.count(Category.KEY_EXCHANGE)
+    confirmation = responder.on_probe(initiator.seal_probe(probe))
+    network.counter.count(Category.KEY_EXCHANGE)
+    if confirmation is None:
+        raise KeyMismatchError(f"relay {responder_ip} failed probe verification")
+    return initiator.on_confirmation(confirmation)

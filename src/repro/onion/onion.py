@@ -1,0 +1,146 @@
+"""Onion construction and peeling (§3.3).
+
+Paper format::
+
+    (((((((fakeonion)AP_p)IP_p)AP_1)IP_1) … AP_k)IP_k, sq) SR_p
+
+Reading inside-out: the core is a *fake onion* sealed to the owner P's own
+anonymity key; each enclosing layer is sealed to one relay's anonymity key
+and names the IP of the *next* hop inward.  The outermost layer names IP_k,
+the entry relay.  ``sq`` is a non-decreasing sequence number indicating the
+onion's age, and the whole structure is signed with the owner's signature
+private key SR_p so holders can verify authenticity against SP_p.
+
+A relay peels one layer with its AR, learns only the next IP, and forwards.
+Because every relay (and the owner) receives a structurally identical blob,
+"even the relay next to P does not know P is the receiver": the owner's
+peel yields the fake-onion marker, telling *it alone* that the message has
+arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.backend import CipherBackend, PrivateKey, PublicKey
+from repro.errors import OnionPeelError
+from repro.sim.rng import make_rng
+
+__all__ = [
+    "Onion",
+    "OnionLayer",
+    "PeelOutcome",
+    "build_onion",
+    "peel",
+    "random_relay_path",
+]
+
+#: Marker object at the onion core; only the owner ever sees it.
+_FAKE_ONION = "__fake_onion__"
+
+
+@dataclass(frozen=True)
+class OnionLayer:
+    """Plaintext of one peeled layer: the next hop and the inner blob."""
+
+    next_ip: int
+    inner: Any
+
+
+@dataclass(frozen=True)
+class Onion:
+    """A complete, signed onion as stored in trusted-agent lists."""
+
+    first_hop: int
+    blob: Any
+    seq: int
+    signature: Any
+
+    def verify(self, backend: CipherBackend, owner_sp: PublicKey) -> bool:
+        """Check the SR_p signature over (blob identity, seq)."""
+        return backend.verify(owner_sp, ("onion", self.seq, self.first_hop), self.signature)
+
+
+@dataclass(frozen=True)
+class PeelOutcome:
+    """Result of peeling one layer at a relay or the owner."""
+
+    delivered: bool          # True ⇒ this node is the owner; message arrived
+    next_ip: int | None      # set when delivered is False
+    inner: Any | None        # remaining blob to forward
+
+
+def build_onion(
+    backend: CipherBackend,
+    owner_ap: PublicKey,
+    owner_sr: PrivateKey,
+    owner_ip: int,
+    relay_keys: list[tuple[int, PublicKey]],
+    seq: int,
+) -> Onion:
+    """Construct an onion whose path runs entry-relay → … → owner.
+
+    Parameters
+    ----------
+    relay_keys:
+        ``[(ip, AP), …]`` ordered from the relay *closest to the owner*
+        (innermost layer) to the entry relay (outermost).  May be empty, in
+        which case the onion is a single self-layer (no anonymity, useful
+        for tests and the o=0 ablation).
+    seq:
+        Non-decreasing onion age; receivers drop onions older than the
+        newest they have seen from the same owner.
+    """
+    # Core: fake onion sealed to the owner.
+    blob: Any = backend.encrypt(owner_ap, OnionLayer(next_ip=-1, inner=_FAKE_ONION))
+    prev_ip = owner_ip
+    for ip, ap in relay_keys:
+        blob = backend.encrypt(ap, OnionLayer(next_ip=prev_ip, inner=blob))
+        prev_ip = ip
+    first_hop = prev_ip  # entry relay (or the owner itself when no relays)
+    signature = backend.sign(owner_sr, ("onion", seq, first_hop))
+    return Onion(first_hop=first_hop, blob=blob, seq=seq, signature=signature)
+
+
+def peel(backend: CipherBackend, ar: PrivateKey, blob: Any) -> PeelOutcome:
+    """Peel one layer with this node's anonymity private key.
+
+    Raises
+    ------
+    OnionPeelError
+        If the blob is not sealed to this node's key — the defining failure
+        of a misrouted or tampered onion.
+    """
+    try:
+        layer = backend.decrypt(ar, blob)
+    except Exception as exc:
+        raise OnionPeelError(f"cannot peel onion layer: {exc}") from exc
+    if not isinstance(layer, OnionLayer):
+        raise OnionPeelError("peeled data is not an onion layer")
+    if layer.inner == _FAKE_ONION or layer.next_ip < 0:
+        return PeelOutcome(delivered=True, next_ip=None, inner=None)
+    return PeelOutcome(delivered=False, next_ip=layer.next_ip, inner=layer.inner)
+
+
+def random_relay_path(
+    candidates: list[int],
+    owner_ip: int,
+    n_relays: int,
+    rng: Any = None,
+) -> list[int]:
+    """Pick ``n_relays`` distinct relay IPs, never including the owner.
+
+    Returned inner-to-outer (the order :func:`build_onion` expects once the
+    caller attaches each relay's AP).
+    """
+    rng = make_rng(rng)
+    pool = [c for c in candidates if c != owner_ip]
+    if n_relays <= 0 or not pool:
+        return []
+    if n_relays >= len(pool):
+        picked = list(pool)
+        rng.shuffle(picked)
+        return picked
+    idx = rng.choice(len(pool), size=n_relays, replace=False)
+    return [pool[int(i)] for i in idx]

@@ -1,0 +1,101 @@
+"""Relay-side state: anonymity keys learned via handshake.
+
+:class:`AnonymityKeyStore` is a peer's view of other nodes' anonymity public
+keys (AP), populated exclusively through the Fig. 3 handshake — nothing in
+the library hands out APs by fiat, so the key-distribution story of the
+paper is exercised on every onion build.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.backend import CipherBackend, PublicKey
+from repro.crypto.nonce import NonceRegistry
+from repro.errors import UnknownNodeError
+from repro.net.network import P2PNetwork
+from repro.onion.handshake import (
+    HandshakeInitiator,
+    HandshakeResponder,
+    perform_handshake,
+)
+
+__all__ = ["AnonymityKeyStore", "RelayRegistry"]
+
+
+class RelayRegistry:
+    """Directory of handshake responders, one per node.
+
+    This models each node's listening side of the key exchange.  It lives at
+    the simulation-orchestration level (it is how the simulated network
+    "reaches" node K's responder when P sends to IP_k).
+    """
+
+    def __init__(self) -> None:
+        self._responders: dict[int, HandshakeResponder] = {}
+
+    def register(self, ip: int, responder: HandshakeResponder) -> None:
+        self._responders[ip] = responder
+
+    def responder(self, ip: int) -> HandshakeResponder:
+        try:
+            return self._responders[ip]
+        except KeyError:
+            raise UnknownNodeError(ip) from None
+
+
+class AnonymityKeyStore:
+    """One peer's cache of verified anonymity public keys."""
+
+    def __init__(
+        self,
+        owner_ip: int,
+        backend: CipherBackend,
+        initiator_factory,
+    ) -> None:
+        """``initiator_factory()`` must return a fresh HandshakeInitiator."""
+        self._owner_ip = owner_ip
+        self._backend = backend
+        self._initiator_factory = initiator_factory
+        self._keys: dict[int, PublicKey] = {}
+        self.handshakes_performed = 0
+
+    def known(self, ip: int) -> bool:
+        return ip in self._keys
+
+    def get(self, ip: int) -> PublicKey:
+        try:
+            return self._keys[ip]
+        except KeyError:
+            raise UnknownNodeError(ip) from None
+
+    def learn(
+        self,
+        network: P2PNetwork,
+        registry: RelayRegistry,
+        ip: int,
+    ) -> PublicKey:
+        """Fetch (and verify) node ``ip``'s AP via the 4-message handshake.
+
+        Cached keys are returned without touching the network.
+        """
+        cached = self._keys.get(ip)
+        if cached is not None:
+            return cached
+        initiator: HandshakeInitiator = self._initiator_factory()
+        key = perform_handshake(
+            network,
+            self._backend,
+            initiator,
+            registry.responder(ip),
+            self._owner_ip,
+            ip,
+        )
+        self._keys[ip] = key
+        self.handshakes_performed += 1
+        return key
+
+    def forget(self, ip: int) -> None:
+        """Drop a cached key (e.g. the node rotated keys or left)."""
+        self._keys.pop(ip, None)
+
+    def __len__(self) -> int:
+        return len(self._keys)

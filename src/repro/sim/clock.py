@@ -1,0 +1,52 @@
+"""Simulation clock.
+
+Kept separate from the engine so metric collectors and network models can
+read the current simulation time without holding a reference to the full
+engine (and so it can be unit-tested in isolation).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulation clock measured in milliseconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is earlier than the current time (the engine must
+            never travel backwards).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now!r}, target={time!r}"
+            )
+        self._now = float(time)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock for a fresh simulation run."""
+        if start < 0:
+            raise SimulationError(f"clock cannot reset to negative time {start!r}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now!r})"

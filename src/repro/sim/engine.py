@@ -1,0 +1,134 @@
+"""Discrete-event simulation engine.
+
+The engine is a thin deterministic loop over an :class:`~repro.sim.events.EventQueue`:
+pop the earliest event, advance the clock, run the callback.  Callbacks
+schedule further events through :meth:`SimEngine.schedule` (absolute time) or
+:meth:`SimEngine.schedule_in` (relative delay).
+
+Design notes (see ``/opt/skills/guides/python/hpc-parallel``): the hot loop
+is free of allocation beyond the events themselves, and the engine keeps no
+per-step bookkeeping other than an event counter — metric collection is the
+responsibility of the components that schedule events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import EventQueueEmpty, SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["SimEngine"]
+
+
+class SimEngine:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start:
+        Initial simulation time (default ``0.0``; milliseconds by library
+        convention).
+
+    Examples
+    --------
+    >>> engine = SimEngine()
+    >>> fired = []
+    >>> _ = engine.schedule_in(5.0, lambda: fired.append(engine.now))
+    >>> engine.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self.queue = EventQueue()
+        self.events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.clock.now
+
+    def schedule(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self.now!r}, time={time!r}"
+            )
+        return self.queue.push(time, action, priority=priority, label=label)
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a relative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule(self.now + delay, action, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self.queue.cancel(event)
+
+    def step(self) -> Event:
+        """Execute exactly one event and return it."""
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        self.events_processed += 1
+        if event.action is not None:
+            event.action()
+        return event
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the queue; return the number of events executed.
+
+        Parameters
+        ----------
+        until:
+            Stop before executing any event scheduled strictly after this
+            time (the clock is then advanced to ``until``).
+        max_events:
+            Safety valve for runaway schedules.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant: run() called from a callback")
+        self._running = True
+        executed = 0
+        try:
+            while self.queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                try:
+                    next_time = self.queue.peek_time()
+                except EventQueueEmpty:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and until > self.now:
+            self.clock.advance_to(until)
+        return executed
+
+    def reset(self, start: float = 0.0) -> None:
+        """Return the engine to a pristine state for a new run."""
+        self.queue.clear()
+        self.clock.reset(start)
+        self.events_processed = 0
+        self._running = False

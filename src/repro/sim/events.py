@@ -1,0 +1,125 @@
+"""Event primitives for the discrete-event simulation engine.
+
+An :class:`Event` couples a firing time with a callback.  Events are totally
+ordered by ``(time, priority, seq)`` where ``seq`` is a monotonically
+increasing tie-breaker assigned by the queue, making the execution order
+deterministic for equal timestamps regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import EventQueueEmpty, SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event fires (milliseconds by library
+        convention, though the engine is unit-agnostic).
+    priority:
+        Secondary sort key; lower fires first among equal times.
+    seq:
+        Queue-assigned tie breaker guaranteeing FIFO order for equal
+        ``(time, priority)``.
+    action:
+        Zero-argument callable executed when the event fires.
+    label:
+        Free-form tag used by metrics and debugging output.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default=0, compare=True)
+    action: Callable[[], Any] | None = field(default=None, compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue discards it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises
+        ------
+        EventQueueEmpty
+            If no live events remain.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        raise EventQueueEmpty("event queue is empty")
+
+    def peek_time(self) -> float:
+        """Return the firing time of the earliest live event without popping."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            raise EventQueueEmpty("event queue is empty")
+        return self._heap[0].time
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (lazy deletion)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,102 @@
+"""Generator-based processes on top of the event engine.
+
+The callback style used by the network layer is efficient but awkward for
+long sequential behaviours (retry loops, periodic maintenance, churn
+sessions).  :func:`spawn` runs a generator as a *process*: the generator
+yields how long to sleep (a float, in ms) or another process handle to
+join, and resumes when the engine reaches that point.
+
+    def maintenance(engine, peer):
+        while True:
+            yield 5_000.0            # sleep 5 simulated seconds
+            peer.probe_backups()
+
+    handle = spawn(engine, maintenance(engine, peer))
+
+Processes end when the generator returns; ``handle.result`` carries the
+``StopIteration`` value, and joining a finished process resumes
+immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Union
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEngine
+
+__all__ = ["ProcessHandle", "spawn"]
+
+Yieldable = Union[float, int, "ProcessHandle"]
+
+
+class ProcessHandle:
+    """A running (or finished) process."""
+
+    def __init__(self, engine: SimEngine, generator: Generator[Yieldable, Any, Any]):
+        self._engine = engine
+        self._generator = generator
+        self.done = False
+        self.result: Any = None
+        self.failed: BaseException | None = None
+        self._joiners: list[ProcessHandle] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _start(self) -> None:
+        self._engine.schedule_in(0.0, self._step, label="process-start")
+
+    def _step(self, send_value: Any = None) -> None:
+        if self.done:
+            return  # interrupted between scheduling and firing
+        try:
+            yielded = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # surface process crashes loudly
+            self.failed = exc
+            self._finish(None)
+            raise
+        if isinstance(yielded, ProcessHandle):
+            if yielded.done:
+                self._engine.schedule_in(
+                    0.0, lambda: self._step(yielded.result), label="process-join"
+                )
+            else:
+                yielded._joiners.append(self)
+        elif isinstance(yielded, (int, float)):
+            delay = float(yielded)
+            if delay < 0:
+                raise SimulationError(f"process yielded negative delay {delay!r}")
+            self._engine.schedule_in(delay, self._step, label="process-sleep")
+        else:
+            raise SimulationError(
+                f"process yielded {type(yielded).__name__}; expected delay or ProcessHandle"
+            )
+
+    def _finish(self, result: Any) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.result = result
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self._engine.schedule_in(
+                0.0, lambda j=joiner: j._step(result), label="process-join"
+            )
+
+    def interrupt(self) -> None:
+        """Stop the process at its next scheduled resumption."""
+        self._generator.close()
+        if not self.done:
+            self._finish(None)
+
+
+def spawn(
+    engine: SimEngine, generator: Generator[Yieldable, Any, Any]
+) -> ProcessHandle:
+    """Start a generator as a process; it first runs at the current time."""
+    handle = ProcessHandle(engine, generator)
+    handle._start()
+    return handle

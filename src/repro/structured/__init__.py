@@ -1,0 +1,5 @@
+"""Structured-overlay (Chord DHT) substrate for §2's comparators."""
+
+from repro.structured.chord import ChordRing, DHTStore, LookupResult
+
+__all__ = ["ChordRing", "DHTStore", "LookupResult"]

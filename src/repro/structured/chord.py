@@ -1,0 +1,177 @@
+"""A Chord DHT ring — the structured-overlay substrate of §2's comparators.
+
+The paper files EigenTrust (and PeerTrust, TrustGuard, …) under systems
+that "utilize topology information and specific search/routing algorithm
+of the structured P2P systems to distribute the trust value messages".
+To make that distribution *cost* measurable (instead of hand-waving
+"traffic n/a"), this module implements the Chord primitives those systems
+assume:
+
+* consistent hashing of node ids onto a 2^m ring;
+* successor lists and O(log n) finger tables;
+* iterative ``lookup(key)`` returning the responsible node *and* the hop
+  count (each hop is one routed message);
+* a :class:`DHTStore` mapping keys to values at their successor nodes,
+  with put/get traffic accounting.
+
+This is a static-membership Chord (built once over the simulated peer
+population, like the paper's one-shot topologies); stabilization under
+churn is out of scope for the comparators that use it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError, UnknownNodeError
+from repro.sim.metrics import MessageCounter
+
+__all__ = ["ChordRing", "DHTStore", "LookupResult"]
+
+M_BITS = 32
+RING = 1 << M_BITS
+
+
+def _hash_to_ring(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha1(data).digest()[:8], "big") % RING
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one iterative lookup."""
+
+    key: int
+    owner: int           # node index owning the key
+    hops: int            # routed messages spent
+    path: list[int] = field(default_factory=list)
+
+
+class ChordRing:
+    """Chord ring over ``n`` nodes with full finger tables."""
+
+    def __init__(self, n: int, *, counter: MessageCounter | None = None) -> None:
+        if n < 1:
+            raise ConfigError(f"need at least one node, got {n}")
+        self.n = n
+        self.counter = counter or MessageCounter()
+        # node index -> ring id (deterministic, collision-free by construction)
+        ids = {}
+        used = set()
+        for node in range(n):
+            rid = _hash_to_ring(b"chord-node-%d" % node)
+            while rid in used:
+                rid = (rid + 1) % RING
+            used.add(rid)
+            ids[node] = rid
+        self.node_id = ids
+        # sorted ring: list of (ring id, node index)
+        self._ring = sorted((rid, node) for node, rid in ids.items())
+        self._ring_ids = [rid for rid, _node in self._ring]
+        # finger tables: node -> [successor of (id + 2^k)]
+        self._fingers: dict[int, list[int]] = {}
+        for node in range(n):
+            base = self.node_id[node]
+            fingers = []
+            for k in range(M_BITS):
+                target = (base + (1 << k)) % RING
+                fingers.append(self._successor_of(target))
+            self._fingers[node] = fingers
+
+    # -- ring arithmetic ------------------------------------------------------
+
+    def _successor_of(self, ring_point: int) -> int:
+        """The node owning ``ring_point`` (first node at or after it)."""
+        idx = bisect_left(self._ring_ids, ring_point)
+        if idx == len(self._ring_ids):
+            idx = 0
+        return self._ring[idx][1]
+
+    @staticmethod
+    def _in_interval(x: int, lo: int, hi: int) -> bool:
+        """x in (lo, hi] on the ring."""
+        if lo < hi:
+            return lo < x <= hi
+        return x > lo or x <= hi
+
+    def key_for(self, data: bytes) -> int:
+        return _hash_to_ring(data)
+
+    def owner_of(self, key: int) -> int:
+        return self._successor_of(key % RING)
+
+    def successor(self, node: int) -> int:
+        if node not in self.node_id:
+            raise UnknownNodeError(node)
+        return self._fingers[node][0]
+
+    def fingers(self, node: int) -> list[int]:
+        try:
+            return list(self._fingers[node])
+        except KeyError:
+            raise UnknownNodeError(node) from None
+
+    # -- routing -----------------------------------------------------------------
+
+    def lookup(self, origin: int, key: int, *, count: bool = True) -> LookupResult:
+        """Iterative Chord lookup; each hop costs one routed message."""
+        if origin not in self.node_id:
+            raise UnknownNodeError(origin)
+        key %= RING
+        owner = self.owner_of(key)
+        current = origin
+        path = [origin]
+        hops = 0
+        while current != owner:
+            current_id = self.node_id[current]
+            succ = self._fingers[current][0]
+            if self._in_interval(key, current_id, self.node_id[succ]):
+                nxt = succ
+            else:
+                # Closest preceding finger.
+                nxt = succ
+                for finger in reversed(self._fingers[current]):
+                    if finger == current:
+                        continue
+                    if self._in_interval(self.node_id[finger], current_id, key):
+                        nxt = finger
+                        break
+            if nxt == current:  # safety: fall back to linear walk
+                nxt = succ
+            hops += 1
+            if count:
+                self.counter.count("dht_route")
+            current = nxt
+            path.append(current)
+            if hops > self.n:
+                raise ConfigError("lookup failed to converge (ring corrupt)")
+        return LookupResult(key=key, owner=owner, hops=hops, path=path)
+
+
+class DHTStore:
+    """Key/value storage at Chord successors, with traffic accounting."""
+
+    def __init__(self, ring: ChordRing) -> None:
+        self.ring = ring
+        self._stores: dict[int, dict[int, Any]] = {}
+
+    def put(self, origin: int, key_data: bytes, value: Any) -> LookupResult:
+        """Route to the owner and store; one extra message for the PUT."""
+        key = self.ring.key_for(key_data)
+        result = self.ring.lookup(origin, key)
+        self.ring.counter.count("dht_put")
+        self._stores.setdefault(result.owner, {})[key] = value
+        return result
+
+    def get(self, origin: int, key_data: bytes) -> tuple[Any, LookupResult]:
+        """Route to the owner and fetch; one extra message for the reply."""
+        key = self.ring.key_for(key_data)
+        result = self.ring.lookup(origin, key)
+        self.ring.counter.count("dht_get")
+        value = self._stores.get(result.owner, {}).get(key)
+        return value, result
+
+    def stored_at(self, node: int) -> dict[int, Any]:
+        return dict(self._stores.get(node, {}))

@@ -1,0 +1,29 @@
+"""Workload generators and per-figure scenario configs."""
+
+from repro.workloads.scenarios import (
+    default_config,
+    fig5_config,
+    fig6_config,
+    fig7_config,
+    fig8_config,
+)
+from repro.workloads.transactions import (
+    FixedRequestorWorkload,
+    PooledRequestorWorkload,
+    Transaction,
+    UniformWorkload,
+    Workload,
+)
+
+__all__ = [
+    "default_config",
+    "fig5_config",
+    "fig6_config",
+    "fig7_config",
+    "fig8_config",
+    "FixedRequestorWorkload",
+    "PooledRequestorWorkload",
+    "Transaction",
+    "UniformWorkload",
+    "Workload",
+]

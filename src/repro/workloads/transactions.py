@@ -1,0 +1,98 @@
+"""Transaction workload generators.
+
+The paper's workload is minimal — "the trust making process is started with
+randomly selecting a peer as a potential service provider" (§5.2) — and its
+accuracy curves show a *training* effect, which implies a stable requestor
+population whose trusted-agent lists get trained.  The generators here make
+that explicit and reproducible:
+
+* :class:`FixedRequestorWorkload` — one requestor transacts repeatedly
+  (the configuration the accuracy figures are reproduced with);
+* :class:`PooledRequestorWorkload` — requestors drawn from a small pool
+  (models a community of active downloaders);
+* :class:`UniformWorkload` — fully random pairs (traffic experiments,
+  where no training is involved).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.rng import choice_without
+
+__all__ = [
+    "Transaction",
+    "Workload",
+    "FixedRequestorWorkload",
+    "PooledRequestorWorkload",
+    "UniformWorkload",
+]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One (requestor, provider) pairing."""
+
+    index: int
+    requestor: int
+    provider: int
+
+
+class Workload(abc.ABC):
+    """Iterable source of transactions over ``n`` nodes."""
+
+    def __init__(self, n: int, rng: np.random.Generator) -> None:
+        if n < 2:
+            raise ConfigError(f"need at least 2 nodes, got {n}")
+        self.n = n
+        self.rng = rng
+
+    @abc.abstractmethod
+    def pair(self, index: int) -> tuple[int, int]:
+        """The (requestor, provider) for transaction ``index``."""
+
+    def generate(self, count: int) -> Iterator[Transaction]:
+        for i in range(count):
+            requestor, provider = self.pair(i)
+            yield Transaction(index=i, requestor=requestor, provider=provider)
+
+
+class FixedRequestorWorkload(Workload):
+    """One requestor, uniformly random distinct providers."""
+
+    def __init__(self, n: int, rng: np.random.Generator, requestor: int = 0) -> None:
+        super().__init__(n, rng)
+        if not 0 <= requestor < n:
+            raise ConfigError(f"requestor {requestor} out of range [0, {n})")
+        self.requestor = requestor
+
+    def pair(self, index: int) -> tuple[int, int]:
+        return self.requestor, choice_without(self.rng, self.n, self.requestor)
+
+
+class PooledRequestorWorkload(Workload):
+    """Requestors cycle through a random pool of active peers."""
+
+    def __init__(self, n: int, rng: np.random.Generator, pool_size: int = 10) -> None:
+        super().__init__(n, rng)
+        if pool_size < 1:
+            raise ConfigError(f"pool_size must be >= 1, got {pool_size}")
+        pool_size = min(pool_size, n)
+        self.pool = [int(i) for i in rng.choice(n, size=pool_size, replace=False)]
+
+    def pair(self, index: int) -> tuple[int, int]:
+        requestor = self.pool[index % len(self.pool)]
+        return requestor, choice_without(self.rng, self.n, requestor)
+
+
+class UniformWorkload(Workload):
+    """Independent uniform requestor/provider pairs."""
+
+    def pair(self, index: int) -> tuple[int, int]:
+        requestor = int(self.rng.integers(0, self.n))
+        return requestor, choice_without(self.rng, self.n, requestor)

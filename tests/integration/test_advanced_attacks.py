@@ -1,0 +1,166 @@
+"""Integration: oscillation and whitewashing attacks against live systems."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.oscillation import OscillatingModel
+from repro.attacks.whitewash import whitewash_provider
+from repro.core.config import HiRepConfig
+from repro.core.system import HiRepSystem
+from repro.core.trust_models import ReportAverageModel
+from repro.errors import ConfigError
+
+
+CFG = HiRepConfig(
+    network_size=100,
+    trusted_agents=12,
+    refill_threshold=8,
+    agents_queried=6,
+    tokens=6,
+    onion_relays=2,
+    seed=909,
+)
+
+
+class TestOscillatingModel:
+    def test_honest_then_dishonest(self, rng):
+        model = OscillatingModel(honest_evaluations=3)
+        # Build phase: consistent ratings.
+        for _ in range(3):
+            assert model.evaluate(b"x", 1.0, rng) >= 0.6
+        # Turned: inverted ratings forever.
+        for _ in range(10):
+            assert model.evaluate(b"x", 1.0, rng) <= 0.4
+
+    def test_periodic_oscillation(self, rng):
+        model = OscillatingModel(honest_evaluations=0, period=2)
+        faces = [model.currently_honest() or model.evaluate(b"x", 1.0, rng) >= 0.6
+                 for _ in range(0)]
+        # Phase 0 (dishonest), phase 1 (honest), alternating every 2 evals.
+        observed = []
+        for _ in range(8):
+            observed.append(model.evaluate(b"x", 1.0, rng) >= 0.6)
+        assert observed == [False, False, True, True, False, False, True, True]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            OscillatingModel(honest_evaluations=-1)
+        with pytest.raises(ConfigError):
+            OscillatingModel(period=0)
+
+
+class TestOscillationAttack:
+    def test_turncoat_agents_get_silenced(self):
+        """Agents that build trust then flip are evicted/deprioritized and
+        accuracy recovers to the pre-turn level."""
+        turn_after = 10
+
+        def factory(good, rng):
+            if good:
+                from repro.core.trust_models import QualityDrivenModel
+
+                return QualityDrivenModel(True)
+            return OscillatingModel(honest_evaluations=turn_after)
+
+        # 30% of agents are sleeper turncoats.
+        cfg = CFG.with_(poor_agent_fraction=0.3)
+        system = HiRepSystem(cfg, model_factory=factory)
+        system.bootstrap()
+        system.reset_metrics()
+        system.run(40, requestor=0)   # build phase + turn happens in here
+        mid = system.mse.tail_mse(10)
+        system.run(120, requestor=0)  # recovery
+        late = system.mse.tail_mse(30)
+        assert late <= mid + 0.02
+        assert late < 0.10
+
+    def test_flip_drops_expertise(self):
+        cfg = CFG.with_(poor_agent_fraction=0.0)
+
+        turncoats = {}
+
+        def factory(good, rng):
+            model = OscillatingModel(honest_evaluations=5)
+            return model
+
+        system = HiRepSystem(cfg, model_factory=factory)
+        system.bootstrap()
+        system.run(80, requestor=0)
+        peer = system.peers[0]
+        flipped = [
+            a.expertise.value
+            for a in peer.agent_list.agents()
+            if a.expertise.updates >= 8
+        ]
+        # Any heavily-used agent must have been caught flipping.
+        for value in flipped:
+            assert value < 0.9
+
+
+class TestWhitewashing:
+    def make_report_system(self):
+        system = HiRepSystem(
+            CFG, model_factory=lambda good, rng: ReportAverageModel()
+        )
+        system.bootstrap()
+        return system
+
+    def test_whitewash_resets_to_prior_not_to_good(self):
+        system = self.make_report_system()
+        # Find an untrusted provider and build its bad reputation.
+        provider = int(np.nonzero(system.truth == 0.0)[0][0])
+        if provider == 0:
+            provider = int(np.nonzero(system.truth == 0.0)[0][1])
+        for _ in range(25):
+            system.run_transaction(requestor=0, provider=provider)
+        bad_estimate = system.outcomes[-1].estimate
+        assert bad_estimate < 0.4  # reputation built from reports
+
+        outcome = whitewash_provider(system, provider)
+        assert outcome.new_node_id != outcome.old_node_id
+        fresh = system.run_transaction(requestor=0, provider=provider)
+        # Reset to the uninformative prior: better than the earned bad
+        # reputation, but nowhere near a good one.
+        assert 0.4 <= fresh.estimate <= 0.6
+
+    def test_bad_reputation_reaccumulates(self):
+        system = self.make_report_system()
+        provider = int(np.nonzero(system.truth == 0.0)[0][0])
+        if provider == 0:
+            provider = int(np.nonzero(system.truth == 0.0)[0][1])
+        for _ in range(25):
+            system.run_transaction(requestor=0, provider=provider)
+        whitewash_provider(system, provider)
+        for _ in range(25):
+            system.run_transaction(requestor=0, provider=provider)
+        assert system.outcomes[-1].estimate < 0.4
+
+    def test_legitimate_rotation_keeps_reputation_whitewash_does_not(self):
+        """The §3.5 signed update preserves identity continuity at agents;
+        the whitewash deliberately does not."""
+        system = self.make_report_system()
+        system.run(10, requestor=0)
+        old_id = system.peers[0].node_id
+        peer_list_ips = {
+            a.entry.agent_ip for a in system.peers[0].agent_list.agents()
+        }
+        reachable_informed = [
+            ip
+            for ip in peer_list_ips
+            if ip in system.agents and old_id in system.agents[ip].public_key_list
+        ]
+        assert reachable_informed
+        system.rotate_peer_keys(0)
+        new_id = system.peers[0].node_id
+        # Every informed agent still on the list was migrated (continuity);
+        # an agent can only be updated through an onion the peer holds.
+        for ip in reachable_informed:
+            agent = system.agents[ip]
+            assert old_id not in agent.public_key_list
+            assert new_id in agent.public_key_list
+        # Whitewash on another peer: no continuity.
+        wv = whitewash_provider(system, 5)
+        known_new = sum(
+            wv.new_node_id in a.public_key_list for a in system.agents.values()
+        )
+        assert known_new == 0

@@ -1,0 +1,168 @@
+"""Integration: every experiment's paper-claim checks hold at CI scale.
+
+These are the claims EXPERIMENTS.md records; they must hold for the small
+configurations too (the figure shapes are scale-stable).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig5_traffic,
+    fig6_accuracy,
+    fig7_malicious,
+    fig8_response,
+    robustness,
+    table1_params,
+    traffic_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    # The "< 1/2 of voting-2" margin needs a network big enough for the
+    # degree-2 flood to reach its asymptotic cost; 600 nodes suffices
+    # (the paper uses 1000).
+    return fig5_traffic.run(network_size=600, transactions=40, seed=11)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_accuracy.run(network_size=250, transactions=120, seed=11)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_malicious.run(
+        network_size=200,
+        train_transactions=60,
+        measure_transactions=30,
+        seed=11,
+        ratios=(0.0, 0.3, 0.6, 0.9),
+    )
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return fig8_response.run(network_size=250, transactions=40, seed=11)
+
+
+class TestTable1:
+    def test_no_default_drift(self):
+        result = table1_params.run()
+        assert not any("drift" in n for n in result.notes)
+
+    def test_main_prints_table(self, capsys):
+        table1_params.main()
+        out = capsys.readouterr().out
+        assert "Network size" in out
+        assert "Token number" in out
+
+
+class TestFig5:
+    def test_hirep_below_half_of_voting2(self, fig5):
+        assert fig5.get("hirep").final() < 0.5 * fig5.get("voting-2").final()
+
+    def test_voting_grows_with_degree(self, fig5):
+        v2 = fig5.get("voting-2").final()
+        v3 = fig5.get("voting-3").final()
+        v4 = fig5.get("voting-4").final()
+        assert v2 < v3 < v4
+
+    def test_hirep_traffic_linear_in_transactions(self, fig5):
+        y = np.asarray(fig5.get("hirep").y)
+        per_tx = np.diff(y, prepend=0)
+        assert per_tx.std() < 0.05 * per_tx.mean() + 1e-9
+
+    def test_claims_hold(self, fig5):
+        assert all("HOLDS" in n for n in fig5.notes)
+
+
+class TestFig6:
+    def test_trained_hirep_beats_voting(self, fig6):
+        voting_tail = fig6.scalars["voting_tail_mse"]
+        for theta in (4, 6, 8):
+            assert fig6.scalars[f"hirep-{theta}_tail_mse"] < voting_tail
+
+    def test_hirep_starts_no_worse_than_margin(self, fig6):
+        """Untrained hiREP is 'at least as good as' voting (paper wording);
+        allow a small tolerance for the first window."""
+        voting_start = fig6.get("voting").y[10]
+        for theta in (4, 6, 8):
+            assert fig6.get(f"hirep-{theta}").y[10] < voting_start + 0.05
+
+    def test_voting_flat_over_time(self, fig6):
+        y = np.asarray(fig6.get("voting").y[20:])
+        assert y.max() - y.min() < 0.05
+
+
+class TestFig7:
+    def test_hirep_under_quarter_at_90(self, fig7):
+        assert fig7.scalars["hirep_mse_at_90"] < 0.25
+
+    def test_voting_degrades_monotonically(self, fig7):
+        y = fig7.get("voting").y
+        assert all(a <= b + 0.02 for a, b in zip(y, y[1:]))
+
+    def test_hirep_degrades_slower(self, fig7):
+        hirep = fig7.get("hirep").y
+        voting = fig7.get("voting").y
+        assert (voting[-1] - voting[0]) > 3 * (hirep[-1] - hirep[0])
+
+
+class TestFig8:
+    def test_fewer_relays_faster(self, fig8):
+        assert (
+            fig8.scalars["hirep-5_mean_ms"]
+            < fig8.scalars["hirep-7_mean_ms"]
+            < fig8.scalars["hirep-10_mean_ms"]
+        )
+
+    def test_hirep_faster_than_voting(self, fig8):
+        assert fig8.scalars["hirep-10_mean_ms"] < fig8.scalars["voting_mean_ms"]
+
+    def test_cumulative_series_monotone(self, fig8):
+        for series in fig8.series:
+            y = np.asarray(series.y)
+            assert (np.diff(y) >= 0).all()
+
+
+class TestTrafficBound:
+    def test_measured_matches_closed_form(self):
+        result = traffic_bound.run(network_size=150, transactions=10, seed=11)
+        assert all("HOLDS" in n for n in result.notes)
+
+    def test_paper_formula_order(self):
+        assert traffic_bound.paper_bound_per_tx(10, 5, 5) == 200
+        assert traffic_bound.exact_messages_per_tx(10, 5) == 180
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return robustness.run(network_size=150, seed=11)
+
+    def test_spoofing_fully_rejected(self, result):
+        assert result.scalars["spoofing_rejection_rate"] == 1.0
+
+    def test_all_claims_hold(self, result):
+        assert all("HOLDS" in n for n in result.notes), result.notes
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run(network_size=150, seed=11)
+
+    def test_all_claims_hold(self, result):
+        assert all("HOLDS" in n for n in result.notes), result.notes
+
+    def test_token_budget_bounds_replies(self, result):
+        series = result.get("discovery_replies_vs_tokens")
+        for tokens, replies in zip(series.x, series.y):
+            assert replies <= tokens
+
+    def test_alpha_controls_eviction_speed(self, result):
+        series = result.get("evict_steps_vs_alpha")
+        assert series.y == sorted(series.y, reverse=True)

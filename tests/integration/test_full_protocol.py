@@ -1,0 +1,157 @@
+"""Integration: the complete hiREP protocol stack, end to end.
+
+Runs the full chain — discovery → ranking → onion handshakes → trust query
+through onions → agent evaluation → response → expertise update → signed
+report — over both cipher backends, and checks the cross-cutting
+invariants no unit test can see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HiRepConfig
+from repro.core.system import HiRepSystem
+from repro.net.messages import Category
+
+
+def make_system(backend: str, **overrides) -> HiRepSystem:
+    params = dict(
+        network_size=50,
+        trusted_agents=8,
+        refill_threshold=5,
+        agents_queried=3,
+        tokens=5,
+        onion_relays=2,
+        crypto_backend=backend,
+        seed=314,
+    )
+    params.update(overrides)
+    cfg = HiRepConfig(**params)
+    system = HiRepSystem(cfg)
+    system.bootstrap()
+    return system
+
+
+@pytest.mark.parametrize("backend", ["simulated", "rsa"])
+def test_full_cycle_both_backends(backend):
+    system = make_system(backend)
+    system.reset_metrics()
+    outs = system.run(6, requestor=0)
+    assert all(o.answered > 0 for o in outs)
+    assert all(0.0 <= o.estimate <= 1.0 for o in outs)
+    # Reports reached agents and passed signature verification.
+    accepted = sum(a.stats.reports_accepted for a in system.agents.values())
+    rejected = sum(a.stats.reports_rejected for a in system.agents.values())
+    assert accepted > 0
+    assert rejected == 0  # nothing malformed in an honest run
+
+
+def test_requestor_ip_never_revealed_to_agents():
+    """Anonymity invariant: agents learn nodeIDs and SPs, never IPs —
+    nothing in an agent's state references the requestor's address."""
+    system = make_system("simulated")
+    system.run(10, requestor=0)
+    requestor_ip = 0
+    for agent in system.agents.values():
+        # Key list is keyed by nodeID (bytes), never by IP.
+        for node_id in agent.public_key_list:
+            assert isinstance(node_id, bytes)
+        assert requestor_ip not in agent.public_key_list
+
+
+def test_no_direct_messages_between_peer_and_agent():
+    """Every trust message must route through at least one relay hop:
+    with o relays the first hop of any trust-category message is a relay,
+    not the final recipient."""
+    system = make_system("simulated")
+    system.reset_metrics()
+    out = system.run_transaction(requestor=0)
+    o = system.config.onion_relays
+    c_answered = out.answered
+    # 3 legs per agent (query, response, report), each (o+1) messages.
+    assert out.trust_messages == 3 * out.asked * (o + 1) or out.trust_messages >= 3 * c_answered * (o + 1)
+
+
+def test_agents_learn_exactly_the_requestors():
+    system = make_system("simulated")
+    system.reset_metrics()
+    system.run(5, requestor=0)
+    system.run(5, requestor=1)
+    learned = set()
+    for agent in system.agents.values():
+        learned |= set(agent.public_key_list)
+    assert system.peers[0].node_id in learned
+    assert system.peers[1].node_id in learned
+    # Peers that never queried are unknown to every agent.
+    assert system.peers[2].node_id not in learned
+
+
+def test_expertise_training_separates_good_from_poor():
+    system = make_system("simulated", poor_agent_fraction=0.3)
+    system.run(60, requestor=0)
+    peer = system.peers[0]
+    good_ids = {system.peers[ip].node_id for ip in system.good_agent_ips()}
+    poor_ids = {system.peers[ip].node_id for ip in system.poor_agent_ips()}
+    trained_good = [
+        a.expertise.value
+        for a in peer.agent_list.agents()
+        if a.node_id in good_ids and a.expertise.updates > 0
+    ]
+    trained_poor = [
+        a.expertise.value
+        for a in peer.agent_list.agents()
+        if a.node_id in poor_ids and a.expertise.updates > 0
+    ]
+    if trained_good:
+        assert min(trained_good) > 0.9  # good agents never miss
+    if trained_poor:
+        assert max(trained_poor) < 0.6  # one strike at alpha=0.5
+
+
+def test_accuracy_improves_with_training():
+    system = make_system("simulated", poor_agent_fraction=0.3)
+    system.reset_metrics()
+    system.run(80, requestor=0)
+    sq = system.mse.squared_errors
+    early = float(np.mean(sq[:15]))
+    late = float(np.mean(sq[-15:]))
+    assert late <= early + 0.02  # training never makes it notably worse
+
+
+def test_traffic_independent_of_network_degree():
+    """The Fig. 5 invariant: hiREP per-transaction trust traffic does not
+    change with overlay density."""
+    per_tx = []
+    for degree in (2.0, 4.0):
+        system = make_system("simulated", avg_neighbors=degree)
+        system.reset_metrics()
+        outs = system.run(10, requestor=0)
+        per_tx.append(np.mean([o.trust_messages for o in outs]))
+    assert per_tx[0] == pytest.approx(per_tx[1])
+
+
+def test_response_time_scales_with_onion_length():
+    means = []
+    for relays in (1, 4):
+        system = make_system("simulated", onion_relays=relays)
+        system.reset_metrics()
+        system.run(15, requestor=0)
+        means.append(system.response_times.mean())
+    assert means[0] < means[1]
+
+
+def test_report_log_feeds_report_models():
+    from repro.core.trust_models import ReportAverageModel
+
+    cfg_factory = lambda good, rng: ReportAverageModel()
+    cfg = HiRepConfig(
+        network_size=50, trusted_agents=8, refill_threshold=5,
+        agents_queried=3, tokens=5, onion_relays=1, seed=314,
+    )
+    system = HiRepSystem(cfg, model_factory=cfg_factory)
+    system.bootstrap()
+    system.run(20, requestor=0)
+    total_reports = sum(
+        len(v) for a in system.agents.values() for v in a.report_log.values()
+    )
+    assert total_reports > 0

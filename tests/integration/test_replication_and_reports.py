@@ -1,0 +1,59 @@
+"""Integration: seed-robustness of headline claims + report-driven agents."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5_traffic, replication, report_models
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def rep(self):
+        return replication.replicate(
+            fig5_traffic.run,
+            seeds=range(3),
+            network_size=600,
+            transactions=25,
+        )
+
+    def test_scalars_pooled_per_seed(self, rep):
+        assert len(rep.samples["hirep_over_voting2"]) == 3
+        assert len(rep.results) == 3
+
+    def test_fig5_claim_holds_across_seeds(self, rep):
+        summary = rep.summary("hirep_over_voting2")
+        assert summary["n"] == 3
+        assert summary["mean"] < 0.5
+        assert rep.claim_always_holds("paper claim: hirep < 1/2")
+
+    def test_hirep_traffic_deterministic_across_seeds(self, rep):
+        summary = rep.summary("hirep_msgs_per_tx")
+        assert summary["std"] == pytest.approx(0.0)  # 3c(o+1) is exact
+
+    def test_render_mentions_scalars(self, rep):
+        text = rep.render()
+        assert "hirep_over_voting2" in text
+        assert "CI" in text
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replication.replicate(fig5_traffic.run, seeds=[])
+
+
+class TestReportModels:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return report_models.run(network_size=150, transactions=200, providers=8)
+
+    def test_all_claims_hold(self, result):
+        assert all("HOLDS" in n for n in result.notes), result.notes
+
+    def test_report_models_learn(self, result):
+        for name in ("report-average", "report-ewma"):
+            series = result.get(name).y
+            assert series[0] == pytest.approx(0.25)  # prior² on binary truth
+            assert series[-1] < 0.05
+
+    def test_oracle_flat(self, result):
+        series = np.asarray(result.get("oracle").y[20:])
+        assert series.max() - series.min() < 0.06

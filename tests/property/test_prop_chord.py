@@ -1,0 +1,50 @@
+"""Property-based tests for the Chord DHT."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structured.chord import ChordRing, DHTStore
+
+RINGS = {n: ChordRing(n) for n in (1, 2, 3, 8, 33, 100)}
+
+
+@given(
+    n=st.sampled_from(sorted(RINGS)),
+    origin_seed=st.integers(min_value=0, max_value=10**6),
+    key=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=150)
+def test_lookup_always_reaches_owner(n, origin_seed, key):
+    ring = RINGS[n]
+    origin = origin_seed % n
+    result = ring.lookup(origin, key, count=False)
+    assert result.owner == ring.owner_of(key)
+    assert result.hops == len(result.path) - 1
+    assert result.hops <= n
+
+
+@given(
+    n=st.sampled_from([8, 33, 100]),
+    key=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=80)
+def test_owner_independent_of_origin(n, key):
+    ring = RINGS[n]
+    owners = {ring.lookup(o, key, count=False).owner for o in range(0, n, max(1, n // 7))}
+    assert len(owners) == 1
+
+
+@given(
+    keys=st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=20, unique=True),
+    n=st.sampled_from([8, 33]),
+)
+@settings(max_examples=50)
+def test_store_retrieves_everything_from_anywhere(keys, n):
+    ring = ChordRing(n)
+    store = DHTStore(ring)
+    for i, key in enumerate(keys):
+        store.put(i % n, key, i)
+    for i, key in enumerate(keys):
+        value, _ = store.get((i * 7) % n, key)
+        assert value == i

@@ -1,0 +1,109 @@
+"""Property-based tests for the cryptographic substrate."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.backend import get_backend
+from repro.crypto.hashing import node_id_from_key, verify_node_id
+from repro.crypto.numtheory import egcd, is_probable_prime, modinv
+
+SIM = get_backend("simulated")
+RSA = get_backend("rsa")
+RNG = np.random.default_rng(2024)
+SIM_PAIR = SIM.generate_keypair(RNG)
+RSA_PAIR = RSA.generate_keypair(RNG)
+
+payloads = st.recursive(
+    st.one_of(
+        st.integers(),
+        st.text(max_size=40),
+        st.binary(max_size=60),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(payload=payloads)
+@settings(max_examples=60, deadline=None)
+def test_simulated_roundtrip(payload):
+    pub, priv = SIM_PAIR
+    assert SIM.decrypt(priv, SIM.encrypt(pub, payload)) == payload
+
+
+@given(payload=payloads)
+@settings(max_examples=25, deadline=None)
+def test_rsa_roundtrip(payload):
+    pub, priv = RSA_PAIR
+    assert RSA.decrypt(priv, RSA.encrypt(pub, payload)) == payload
+
+
+@given(payload=payloads)
+@settings(max_examples=40, deadline=None)
+def test_simulated_sign_verify(payload):
+    pub, priv = SIM_PAIR
+    assert SIM.verify(pub, payload, SIM.sign(priv, payload))
+
+
+@given(payload=payloads, tweak=st.integers())
+@settings(max_examples=40, deadline=None)
+def test_signature_binds_payload(payload, tweak):
+    pub, priv = SIM_PAIR
+    sig = SIM.sign(priv, payload)
+    tampered = ("tampered", payload, tweak)
+    assert not SIM.verify(pub, tampered, sig)
+
+
+@given(data=st.binary(min_size=0, max_size=3000))
+@settings(max_examples=20, deadline=None)
+def test_rsa_binary_any_length(data):
+    """Chunking must preserve arbitrary binary exactly (incl. zeros)."""
+    pub, priv = RSA_PAIR
+    assert RSA.decrypt(priv, RSA.encrypt(pub, data)) == data
+
+
+@given(a=st.integers(min_value=1, max_value=10**9), b=st.integers(min_value=1, max_value=10**9))
+@settings(max_examples=100)
+def test_egcd_invariant(a, b):
+    g, x, y = egcd(a, b)
+    assert a * x + b * y == g
+    assert a % g == 0 and b % g == 0
+
+
+@given(
+    a=st.integers(min_value=1, max_value=10**6),
+    m=st.sampled_from([7, 11, 101, 65537, 2**61 - 1]),
+)
+@settings(max_examples=100)
+def test_modinv_invariant(a, m):
+    if a % m == 0:
+        return
+    g, _, _ = egcd(a % m, m)
+    if g != 1:
+        return
+    assert (a * modinv(a, m)) % m == 1
+
+
+@given(n=st.integers(min_value=4, max_value=10**6))
+@settings(max_examples=150)
+def test_composite_products_never_prime(n):
+    assert not is_probable_prime(n * 2)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_node_id_always_verifies_own_key(seed):
+    rng = np.random.default_rng(seed)
+    pub, _ = SIM.generate_keypair(rng)
+    node_id = node_id_from_key(pub)
+    assert verify_node_id(node_id, pub)
+    other_pub, _ = SIM.generate_keypair(rng)
+    assert not verify_node_id(node_id, other_pub)

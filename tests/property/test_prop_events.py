@@ -1,0 +1,56 @@
+"""Property-based tests for event-queue and engine ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimEngine
+from repro.sim.events import EventQueue
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100
+    )
+)
+@settings(max_examples=60)
+def test_pop_order_sorted(times):
+    q = EventQueue()
+    for i, t in enumerate(times):
+        q.push(t, lambda: None, label=str(i))
+    popped = [q.pop().time for _ in range(len(times))]
+    assert popped == sorted(popped)
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=80
+    ),
+    cancel_idx=st.sets(st.integers(min_value=0, max_value=79)),
+)
+@settings(max_examples=60)
+def test_cancellation_removes_exactly_those(times, cancel_idx):
+    q = EventQueue()
+    events = [q.push(t, lambda: None, label=str(i)) for i, t in enumerate(times)]
+    cancelled = {i for i in cancel_idx if i < len(events)}
+    for i in cancelled:
+        q.cancel(events[i])
+    surviving = sorted(
+        (int(q.pop().label) for _ in range(len(q))),
+    )
+    assert set(surviving) == set(range(len(times))) - cancelled
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+    )
+)
+@settings(max_examples=60)
+def test_engine_clock_never_regresses(delays):
+    engine = SimEngine()
+    observed = []
+    for d in delays:
+        engine.schedule(d, lambda: observed.append(engine.now))
+    engine.run()
+    assert observed == sorted(observed)
+    assert engine.now == max(delays)

@@ -1,0 +1,77 @@
+"""Property-based tests for metric collectors and stats helpers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import MSETracker, MessageCounter
+from repro.sim.stats import downsample, moving_average
+
+floats01 = st.floats(min_value=0.0, max_value=1.0)
+
+
+@given(
+    pairs=st.lists(st.tuples(floats01, floats01), min_size=1, max_size=60),
+    window=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=60)
+def test_windowed_mse_matches_naive(pairs, window):
+    tracker = MSETracker(window=window)
+    for est, truth in pairs:
+        tracker.record(est, truth)
+    windowed = tracker.windowed_mse()
+    sq = np.array([(e - t) ** 2 for e, t in pairs])
+    for i in range(len(pairs)):
+        lo = max(0, i - window + 1)
+        assert abs(windowed[i] - sq[lo : i + 1].mean()) < 1e-9
+
+
+@given(pairs=st.lists(st.tuples(floats01, floats01), min_size=1, max_size=60))
+@settings(max_examples=40)
+def test_mse_bounded(pairs):
+    tracker = MSETracker()
+    for est, truth in pairs:
+        tracker.record(est, truth)
+    assert 0.0 <= tracker.mse() <= 1.0
+
+
+@given(counts=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=40))
+@settings(max_examples=40)
+def test_counter_snapshots_monotone_and_consistent(counts):
+    counter = MessageCounter()
+    for c in counts:
+        counter.count("x", c)
+        counter.snapshot()
+    snaps = counter.snapshots
+    assert (np.diff(snaps) >= 0).all() if snaps.size > 1 else True
+    assert snaps[-1] == sum(counts)
+    assert counter.per_transaction().sum() == sum(counts)
+    assert list(counter.per_transaction()) == counts
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200
+    ),
+    points=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=50)
+def test_downsample_subset_and_endpoint(values, points):
+    out = downsample(values, points)
+    assert out.size <= max(points, len(values))
+    assert out[-1] == values[-1]
+    as_set = set(np.asarray(values))
+    assert all(v in as_set for v in out)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=100
+    ),
+    window=st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=50)
+def test_moving_average_within_range(values, window):
+    out = moving_average(values, window)
+    assert out.min() >= min(values) - 1e-9
+    assert out.max() <= max(values) + 1e-9

@@ -1,0 +1,68 @@
+"""Property-based tests for onion routing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.backend import get_backend
+from repro.crypto.keys import PeerKeys
+from repro.onion.onion import build_onion, peel
+
+BACKEND = get_backend("simulated")
+RNG = np.random.default_rng(7)
+KEYS = [PeerKeys.generate(BACKEND, RNG) for _ in range(12)]
+
+
+@given(
+    relay_ids=st.lists(
+        st.integers(min_value=1, max_value=11), min_size=0, max_size=8, unique=True
+    ),
+    seq=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=80)
+def test_any_relay_path_delivers_to_owner(relay_ids, seq):
+    owner = KEYS[0]
+    relay_keys = [(ip, KEYS[ip].ap) for ip in relay_ids]
+    onion = build_onion(BACKEND, owner.ap, owner.sr, 0, relay_keys, seq=seq)
+    expected_first = relay_ids[-1] if relay_ids else 0
+    assert onion.first_hop == expected_first
+    assert onion.seq == seq
+    assert onion.verify(BACKEND, owner.sp)
+
+    # Walk the chain outermost -> innermost.
+    blob = onion.blob
+    hops = []
+    current = onion.first_hop
+    for _ in range(len(relay_ids)):
+        outcome = peel(BACKEND, KEYS[current].ar, blob)
+        if outcome.delivered:
+            break
+        hops.append(current)
+        blob = outcome.inner
+        current = outcome.next_ip
+    final = peel(BACKEND, KEYS[0].ar, blob) if current == 0 else peel(
+        BACKEND, KEYS[current].ar, blob
+    )
+    assert final.delivered
+    # The traversal visited exactly the relays, in reverse build order.
+    assert hops == list(reversed(relay_ids))[: len(hops)]
+
+
+@given(
+    relay_ids=st.lists(
+        st.integers(min_value=1, max_value=11), min_size=1, max_size=6, unique=True
+    )
+)
+@settings(max_examples=50)
+def test_intermediate_layers_never_deliver(relay_ids):
+    """No relay ever sees the fake-onion core — only the owner does."""
+    owner = KEYS[0]
+    relay_keys = [(ip, KEYS[ip].ap) for ip in relay_ids]
+    onion = build_onion(BACKEND, owner.ap, owner.sr, 0, relay_keys, seq=1)
+    blob = onion.blob
+    current = onion.first_hop
+    for _ in relay_ids:
+        outcome = peel(BACKEND, KEYS[current].ar, blob)
+        assert not outcome.delivered
+        blob, current = outcome.inner, outcome.next_ip
+    assert current == 0

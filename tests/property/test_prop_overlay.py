@@ -1,0 +1,49 @@
+"""Property-based tests for the dynamic overlay under arbitrary churn."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.overlay import DynamicOverlay
+
+# An operation script: each entry is (op, seed) with op in {join, leave, repair}.
+ops = st.lists(
+    st.tuples(st.sampled_from(["join", "leave", "repair"]), st.integers(0, 10**6)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(script=ops, seed=st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_overlay_invariants_under_any_churn_script(script, seed):
+    rng = np.random.default_rng(seed)
+    overlay = DynamicOverlay(target_degree=3, min_degree=2, max_degree=8, ping_ttl=2)
+    overlay.seed(list(range(5)))
+    next_id = 5
+    for op, op_seed in script:
+        op_rng = np.random.default_rng(op_seed)
+        members = overlay.members()
+        if op == "join":
+            bootstrap = members[int(op_rng.integers(0, len(members)))]
+            overlay.join(next_id, bootstrap=bootstrap, rng=op_rng)
+            next_id += 1
+        elif op == "leave" and len(members) > 3:
+            overlay.leave(members[int(op_rng.integers(0, len(members)))])
+        elif op == "repair":
+            overlay.repair(op_rng)
+
+        # Invariants after every operation:
+        for node in overlay.members():
+            nbrs = overlay.neighbors(node)
+            assert node not in nbrs                      # no self loops
+            assert len(nbrs) <= overlay.max_degree       # cap respected
+            for nbr in nbrs:                             # symmetry
+                assert node in overlay.neighbors(nbr)
+
+    # After a final repair pass the overlay is connected and healthy.
+    overlay.repair(np.random.default_rng(seed + 1))
+    assert overlay.is_connected()
+    snapshot = overlay.as_topology()
+    assert snapshot.n == len(overlay)
+    assert snapshot.is_connected()

@@ -1,0 +1,95 @@
+"""Property-based tests for ranking invariants (§3.4.2 / §4.2.1)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import AgentListEntry
+from repro.core.ranking import merge_ranks, rank_within_list, select_agents
+from repro.crypto.backend import PublicKey
+
+
+def entry(node: int, weight: float) -> AgentListEntry:
+    nid = node.to_bytes(2, "big")
+    return AgentListEntry(
+        weight=weight,
+        agent_node_id=nid,
+        agent_onion=None,
+        agent_sp=PublicKey("simulated", nid),
+        agent_ip=node,
+    )
+
+
+weights = st.floats(min_value=0.0, max_value=1.0)
+agent_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30), weights),
+    min_size=1,
+    max_size=15,
+)
+
+
+@given(raw=agent_lists, n=st.integers(min_value=1, max_value=10))
+@settings(max_examples=80)
+def test_ranks_bounded_and_ordered(raw, n):
+    entries = [entry(node, w) for node, w in raw]
+    ranks = rank_within_list(entries, n)
+    assert all(0 <= r <= n for r in ranks.values())
+    # Higher weight never ranks strictly below lower weight.
+    by_id = {}
+    for node, w in raw:
+        nid = node.to_bytes(2, "big")
+        by_id[nid] = max(w, by_id.get(nid, -1.0))
+    items = sorted(by_id.items(), key=lambda kv: kv[1], reverse=True)
+    for (id_hi, w_hi), (id_lo, w_lo) in zip(items, items[1:]):
+        if w_hi > w_lo:
+            assert ranks[id_hi] >= ranks[id_lo]
+
+
+@given(
+    lists=st.lists(
+        st.dictionaries(
+            st.binary(min_size=2, max_size=2),
+            st.integers(min_value=0, max_value=10),
+            max_size=8,
+        ),
+        max_size=6,
+    )
+)
+@settings(max_examples=80)
+def test_merge_is_pointwise_max(lists):
+    merged = merge_ranks(lists)
+    for node_id, rank in merged.items():
+        assert rank == max(d.get(node_id, -1) for d in lists)
+
+
+@given(raw=agent_lists, n=st.integers(min_value=1, max_value=8), seed=st.integers(0, 1000))
+@settings(max_examples=60)
+def test_select_count_and_membership(raw, n, seed):
+    entries = [entry(node, w) for node, w in raw]
+    unique = {e.agent_node_id: e for e in entries}
+    ranks = [rank_within_list(entries, n)]
+    picked = select_agents(list(unique.values()), ranks, n, np.random.default_rng(seed))
+    assert len(picked) == min(n, len(unique))
+    ids = [e.agent_node_id for e in picked]
+    assert len(ids) == len(set(ids))
+    assert set(ids) <= set(unique)
+
+
+@given(
+    raw=agent_lists,
+    n=st.integers(min_value=1, max_value=5),
+    attackers=st.integers(min_value=1, max_value=50),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60)
+def test_bad_mouthing_never_lowers_final_rank(raw, n, attackers, seed):
+    """Adding any number of all-zero attacker lists never changes selection
+    under the max merge — the §4.2.1 defence as an invariant."""
+    entries = [entry(node, w) for node, w in raw]
+    unique = {e.agent_node_id: e for e in entries}
+    honest_ranks = [rank_within_list(entries, n)]
+    zero_list = {e.agent_node_id: 0 for e in entries}
+    attacked_ranks = honest_ranks + [zero_list] * attackers
+    clean = merge_ranks(honest_ranks)
+    attacked = merge_ranks(attacked_ranks)
+    assert clean == attacked

@@ -1,0 +1,86 @@
+"""Property-based tests for topology generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flooding import flood_bfs
+from repro.net.topology import (
+    power_law_topology,
+    random_topology,
+    small_world_topology,
+)
+
+generator = st.sampled_from([power_law_topology, random_topology, small_world_topology])
+
+
+@given(
+    gen=generator,
+    n=st.integers(min_value=10, max_value=150),
+    degree=st.floats(min_value=2.0, max_value=6.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_generated_graphs_well_formed(gen, n, degree, seed):
+    topo = gen(n, degree, np.random.default_rng(seed))
+    assert topo.n == n
+    assert topo.is_connected()
+    for u in range(n):
+        assert u not in topo.neighbors(u)
+        for v in topo.neighbors(u):
+            assert 0 <= v < n
+            assert u in topo.neighbors(v)
+
+
+@given(
+    n=st.integers(min_value=10, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**31),
+    ttl=st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_flood_depths_bounded_by_ttl(n, seed, ttl):
+    topo = power_law_topology(n, 4, np.random.default_rng(seed))
+    result = flood_bfs(topo, 0, ttl)
+    assert all(depth <= ttl for depth in result.visited.values())
+    assert result.visited[0] == 0
+
+
+@given(
+    n=st.integers(min_value=10, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_flood_full_ttl_reaches_connected_graph(n, seed):
+    """With TTL >= n every node of a connected graph is reached."""
+    topo = power_law_topology(n, 4, np.random.default_rng(seed))
+    result = flood_bfs(topo, 0, n)
+    assert len(result.visited) == n
+
+
+@given(
+    n=st.integers(min_value=10, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31),
+    ttl=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_flood_paths_valid(n, seed, ttl):
+    """Every reverse path must be a real walk of the topology."""
+    topo = power_law_topology(n, 4, np.random.default_rng(seed))
+    result = flood_bfs(topo, 0, ttl)
+    for node in result.visited:
+        path = result.path_to(node)
+        assert path[0] == 0 and path[-1] == node
+        assert len(path) == result.depth_of(node) + 1
+        for u, v in zip(path, path[1:]):
+            assert v in topo.neighbors(u)
+
+
+@given(
+    n=st.integers(min_value=10, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_monotone_reach_in_ttl(n, seed):
+    topo = power_law_topology(n, 3, np.random.default_rng(seed))
+    reaches = [flood_bfs(topo, 0, ttl).reach for ttl in range(5)]
+    assert reaches == sorted(reaches)

@@ -1,0 +1,70 @@
+"""Unit tests for the limited-reputation-sharing baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.local import LocalReputationSystem
+from repro.core.config import HiRepConfig
+
+CFG = HiRepConfig(network_size=80, seed=66)
+
+
+def test_first_contact_uses_prior():
+    system = LocalReputationSystem(CFG)
+    out = system.run_transaction(requestor=0, provider=5)
+    assert out.estimate == 0.5
+    assert out.messages == 0
+
+
+def test_history_informs_repeat_contact():
+    system = LocalReputationSystem(CFG)
+    provider = int(np.nonzero(system.truth == 1.0)[0][0]) or 1
+    system.run_transaction(requestor=0, provider=provider)
+    out = system.run_transaction(requestor=0, provider=provider)
+    # One honest observation of a trusted provider: estimate in good range.
+    if not system.malicious[0]:
+        assert out.estimate >= 0.6
+
+
+def test_zero_query_traffic_without_friends():
+    system = LocalReputationSystem(CFG)
+    system.run(30)
+    assert system.counter.total == 0
+
+
+def test_friends_cost_messages_and_widen_coverage():
+    lonely = LocalReputationSystem(CFG)
+    social = LocalReputationSystem(CFG, friends_per_peer=5)
+    # Repeated transactions between a small pool build shareable history.
+    for _ in range(120):
+        lonely.run_transaction()
+        social.run_transaction()
+    assert social.counter.total > 0
+    assert social.coverage() >= lonely.coverage()
+
+
+def test_coverage_terrible_in_large_population():
+    """The baseline's known weakness: random pairs rarely repeat."""
+    system = LocalReputationSystem(CFG)
+    system.run(100)
+    assert system.coverage() < 0.3
+
+
+def test_coverage_nan_before_any_transaction():
+    assert math.isnan(LocalReputationSystem(CFG).coverage())
+
+
+def test_friends_validation():
+    with pytest.raises(ValueError):
+        LocalReputationSystem(CFG, friends_per_peer=-1)
+
+
+def test_shares_world_with_other_systems():
+    from repro.core.system import HiRepSystem
+
+    local = LocalReputationSystem(CFG)
+    hirep = HiRepSystem(CFG)
+    assert local.topology.adjacency == hirep.topology.adjacency
+    assert np.array_equal(local.truth, hirep.truth)

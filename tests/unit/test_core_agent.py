@@ -1,0 +1,165 @@
+"""Unit tests for the reputation agent (§3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import ReputationAgent
+from repro.core.messages import (
+    SignedResult,
+    TransactionReport,
+    TrustRequestBody,
+    TrustValueRequest,
+)
+from repro.core.trust_models import QualityDrivenModel
+from repro.crypto.keys import PeerKeys
+from repro.errors import ProtocolError
+from repro.onion.onion import build_onion
+
+
+@pytest.fixture
+def setup(backend, rng):
+    agent_keys = PeerKeys.generate(backend, rng)
+    peer_keys = PeerKeys.generate(backend, rng)
+    subject_keys = PeerKeys.generate(backend, rng)
+    truth = {subject_keys.node_id: 1.0}
+    agent = ReputationAgent(
+        ip=1,
+        keys=agent_keys,
+        backend=backend,
+        model=QualityDrivenModel(good=True),
+        rng=rng,
+        truth_oracle=lambda nid: truth.get(nid, 0.5),
+    )
+    return agent, agent_keys, peer_keys, subject_keys
+
+
+def make_request(backend, agent_keys, peer_keys, subject_id, nonce=7):
+    body = TrustRequestBody(subject=subject_id, nonce=nonce)
+    onion = build_onion(backend, peer_keys.ap, peer_keys.sr, 0, [], seq=1)
+    return TrustValueRequest(
+        sealed_body=backend.encrypt(agent_keys.sp, body),
+        requestor_sp=peer_keys.sp,
+        requestor_onion=onion,
+    )
+
+
+def fresh_onion(backend, agent_keys):
+    return build_onion(backend, agent_keys.ap, agent_keys.sr, 1, [], seq=2)
+
+
+class TestTrustRequest:
+    def test_response_structure(self, backend, setup):
+        agent, agent_keys, peer_keys, subject_keys = setup
+        request = make_request(backend, agent_keys, peer_keys, subject_keys.node_id)
+        response = agent.handle_trust_request(request, fresh_onion(backend, agent_keys))
+        assert response.agent_sp == agent_keys.sp
+        body = backend.decrypt(peer_keys.sr, response.sealed_body)
+        assert body.subject == subject_keys.node_id
+        assert body.nonce == 7
+        assert 0.6 <= body.trust_value <= 1.0  # good agent, truth=1
+
+    def test_learns_requestor_key(self, backend, setup):
+        agent, agent_keys, peer_keys, subject_keys = setup
+        request = make_request(backend, agent_keys, peer_keys, subject_keys.node_id)
+        agent.handle_trust_request(request, fresh_onion(backend, agent_keys))
+        assert agent.public_key_list[peer_keys.node_id] == peer_keys.sp
+        assert agent.stats.keys_learned == 1
+        # A second request from the same peer does not re-learn.
+        agent.handle_trust_request(
+            make_request(backend, agent_keys, peer_keys, subject_keys.node_id, nonce=8),
+            fresh_onion(backend, agent_keys),
+        )
+        assert agent.stats.keys_learned == 1
+
+    def test_request_sealed_to_other_agent_rejected(self, backend, rng, setup):
+        agent, _agent_keys, peer_keys, subject_keys = setup
+        other = PeerKeys.generate(backend, rng)
+        request = make_request(backend, other, peer_keys, subject_keys.node_id)
+        with pytest.raises(ProtocolError):
+            agent.handle_trust_request(request, fresh_onion(backend, other))
+
+    def test_malformed_body_rejected(self, backend, setup):
+        agent, agent_keys, peer_keys, subject_keys = setup
+        bad = TrustValueRequest(
+            sealed_body=backend.encrypt(agent_keys.sp, "not a body"),
+            requestor_sp=peer_keys.sp,
+            requestor_onion=build_onion(backend, peer_keys.ap, peer_keys.sr, 0, [], 1),
+        )
+        with pytest.raises(ProtocolError):
+            agent.handle_trust_request(bad, fresh_onion(backend, agent_keys))
+
+
+class TestReports:
+    def make_report(self, backend, reporter, subject_id, outcome=1.0, nonce=11):
+        return ReputationAgent.make_signed_result(
+            backend, reporter, subject_id, outcome, nonce
+        )
+
+    def register(self, backend, agent, agent_keys, peer_keys, subject_id):
+        agent.handle_trust_request(
+            make_request(backend, agent_keys, peer_keys, subject_id),
+            fresh_onion(backend, agent_keys),
+        )
+
+    def test_valid_report_accepted_and_stored(self, backend, setup):
+        agent, agent_keys, peer_keys, subject_keys = setup
+        self.register(backend, agent, agent_keys, peer_keys, subject_keys.node_id)
+        report = self.make_report(backend, peer_keys, subject_keys.node_id)
+        assert agent.handle_report(report)
+        assert agent.reports_for(subject_keys.node_id) == [1.0]
+        assert agent.stats.reports_accepted == 1
+
+    def test_unknown_reporter_rejected(self, backend, setup):
+        agent, _agent_keys, peer_keys, subject_keys = setup
+        report = self.make_report(backend, peer_keys, subject_keys.node_id)
+        assert not agent.handle_report(report)
+        assert agent.stats.reports_rejected == 1
+
+    def test_spoofed_identity_rejected(self, backend, rng, setup):
+        """Attacker signs with its key but claims the peer's nodeID."""
+        agent, agent_keys, peer_keys, subject_keys = setup
+        self.register(backend, agent, agent_keys, peer_keys, subject_keys.node_id)
+        attacker = PeerKeys.generate(backend, rng)
+        result = SignedResult(subject=subject_keys.node_id, outcome=0.0, nonce=5)
+        forged = TransactionReport(
+            result=result,
+            signature=backend.sign(attacker.sr, result),
+            reporter_node_id=peer_keys.node_id,
+        )
+        assert not agent.handle_report(forged)
+
+    def test_tampered_outcome_rejected(self, backend, setup):
+        agent, agent_keys, peer_keys, subject_keys = setup
+        self.register(backend, agent, agent_keys, peer_keys, subject_keys.node_id)
+        genuine = self.make_report(backend, peer_keys, subject_keys.node_id, outcome=1.0)
+        tampered = TransactionReport(
+            result=SignedResult(
+                subject=subject_keys.node_id, outcome=0.0, nonce=genuine.result.nonce
+            ),
+            signature=genuine.signature,
+            reporter_node_id=peer_keys.node_id,
+        )
+        assert not agent.handle_report(tampered)
+
+    def test_replayed_report_rejected(self, backend, setup):
+        agent, agent_keys, peer_keys, subject_keys = setup
+        self.register(backend, agent, agent_keys, peer_keys, subject_keys.node_id)
+        report = self.make_report(backend, peer_keys, subject_keys.node_id)
+        assert agent.handle_report(report)
+        assert not agent.handle_report(report)
+        assert agent.stats.replays_blocked == 1
+        assert agent.reports_for(subject_keys.node_id) == [1.0]  # stored once
+
+    def test_reports_feed_model(self, backend, rng, setup):
+        from repro.core.trust_models import ReportAverageModel
+
+        _agent, agent_keys, peer_keys, subject_keys = setup
+        model = ReportAverageModel()
+        agent = ReputationAgent(
+            ip=1, keys=agent_keys, backend=backend, model=model,
+            rng=rng, truth_oracle=lambda nid: 0.5,
+        )
+        self.register(backend, agent, agent_keys, peer_keys, subject_keys.node_id)
+        agent.handle_report(self.make_report(backend, peer_keys, subject_keys.node_id, 1.0, nonce=1))
+        agent.handle_report(self.make_report(backend, peer_keys, subject_keys.node_id, 0.0, nonce=2))
+        assert model.evaluate(subject_keys.node_id, 0.5, rng) == pytest.approx(0.5)

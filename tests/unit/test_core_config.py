@@ -1,0 +1,68 @@
+"""Unit tests for HiRepConfig validation and Table 1."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, HiRepConfig, TABLE1_ROWS
+from repro.errors import ConfigError
+
+
+def test_defaults_match_table1():
+    cfg = DEFAULT_CONFIG
+    assert cfg.network_size == 1000
+    assert cfg.avg_neighbors == 4.0
+    assert cfg.good_rating == (0.6, 1.0)
+    assert cfg.bad_rating == (0.0, 0.4)
+    assert cfg.onion_relays == 5
+    assert cfg.trusted_agents == 60
+    assert cfg.poor_agent_fraction == 0.10
+    assert cfg.ttl == 4
+    assert cfg.tokens == 10
+
+
+def test_table1_has_nine_rows():
+    assert len(TABLE1_ROWS) == 9
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("network_size", 5),
+        ("avg_neighbors", 0.5),
+        ("good_rating", (0.9, 0.1)),
+        ("bad_rating", (-0.1, 0.4)),
+        ("onion_relays", -1),
+        ("trusted_agents", 0),
+        ("poor_agent_fraction", 1.5),
+        ("ttl", -1),
+        ("tokens", 0),
+        ("agents_queried", 0),
+        ("expertise_alpha", 0.0),
+        ("expertise_alpha", 1.0),
+        ("eviction_threshold", 1.2),
+        ("malicious_fraction", -0.2),
+        ("untrusted_peer_fraction", 2.0),
+        ("crypto_backend", "rot13"),
+        ("backup_cache_size", -1),
+    ],
+)
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ConfigError):
+        HiRepConfig(**{field: value})
+
+
+def test_with_returns_validated_copy():
+    cfg = DEFAULT_CONFIG.with_(ttl=7)
+    assert cfg.ttl == 7
+    assert DEFAULT_CONFIG.ttl == 4  # original untouched
+    with pytest.raises(ConfigError):
+        DEFAULT_CONFIG.with_(ttl=-2)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_CONFIG.ttl = 9  # type: ignore[misc]
+
+
+def test_as_dict_roundtrip():
+    d = DEFAULT_CONFIG.as_dict()
+    assert HiRepConfig(**d) == DEFAULT_CONFIG

@@ -1,0 +1,115 @@
+"""Unit tests for agent ranking and selection (§3.4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import AgentListEntry
+from repro.core.ranking import merge_ranks, rank_within_list, select_agents
+from repro.errors import ConfigError
+
+
+def entry(node_id: bytes, weight: float) -> AgentListEntry:
+    from repro.crypto.backend import PublicKey
+
+    return AgentListEntry(
+        weight=weight,
+        agent_node_id=node_id,
+        agent_onion=None,
+        agent_sp=PublicKey("simulated", node_id),
+        agent_ip=0,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRankWithinList:
+    def test_best_weight_gets_n(self):
+        entries = [entry(b"a", 0.9), entry(b"b", 0.5), entry(b"c", 0.1)]
+        ranks = rank_within_list(entries, n=3)
+        assert ranks == {b"a": 3, b"b": 2, b"c": 1}
+
+    def test_longer_list_floors_at_zero(self):
+        """m > n: agents past position n get rank 0 ('ranked less than
+        n-m ... assigned a rank value 0')."""
+        entries = [entry(bytes([i]), 1.0 - i / 10) for i in range(5)]
+        ranks = rank_within_list(entries, n=2)
+        assert ranks[bytes([0])] == 2
+        assert ranks[bytes([1])] == 1
+        assert ranks[bytes([2])] == 0
+        assert ranks[bytes([4])] == 0
+
+    def test_duplicate_agent_keeps_best_position(self):
+        entries = [entry(b"a", 0.9), entry(b"a", 0.1), entry(b"b", 0.5)]
+        ranks = rank_within_list(entries, n=3)
+        assert ranks[b"a"] == 3
+
+    def test_empty_list(self):
+        assert rank_within_list([], n=5) == {}
+
+    def test_n_validation(self):
+        with pytest.raises(ConfigError):
+            rank_within_list([], n=0)
+
+
+class TestMergeRanks:
+    def test_takes_maximum(self):
+        merged = merge_ranks([{b"a": 3, b"b": 1}, {b"a": 1, b"b": 2}])
+        assert merged == {b"a": 3, b"b": 2}
+
+    def test_bad_mouthing_ignored(self):
+        """§4.2.1: many zero-votes cannot depress one honest high vote."""
+        honest = {b"good": 5}
+        attacks = [{b"good": 0} for _ in range(100)]
+        merged = merge_ranks([honest, *attacks])
+        assert merged[b"good"] == 5
+
+    def test_empty(self):
+        assert merge_ranks([]) == {}
+
+
+class TestSelectAgents:
+    def test_selects_top_n(self, rng):
+        entries = [entry(bytes([i]), 0.1 * i) for i in range(6)]
+        ranks = [rank_within_list(entries, n=3)]
+        picked = select_agents(entries, ranks, 3, rng)
+        assert {e.agent_node_id for e in picked} == {bytes([5]), bytes([4]), bytes([3])}
+
+    def test_tie_break_random_over_runs(self):
+        entries = [entry(bytes([i]), 1.0) for i in range(10)]
+        # Equal *ranks* (one per single-entry list) force the tie-break.
+        ranks = [rank_within_list([e], n=1) for e in entries]
+        seen = set()
+        for seed in range(30):
+            picked = select_agents(entries, ranks, 1, np.random.default_rng(seed))
+            seen.add(picked[0].agent_node_id)
+        assert len(seen) > 1  # random tie-break across seeds
+
+    def test_mean_merge_differs_under_badmouthing(self, rng):
+        good, poor = entry(b"good", 1.0), entry(b"poor", 0.5)
+        honest_rank = rank_within_list([good, poor], n=1)         # good: 1
+        attack_rank = {b"good": 0, b"poor": 1}
+        ranks = [honest_rank] + [attack_rank] * 20
+        candidates = [good, poor]
+        picked_max = select_agents(candidates, ranks, 1, rng, merge="max")
+        assert picked_max[0].agent_node_id == b"good"
+        picked_mean = select_agents(candidates, ranks, 1, rng, merge="mean")
+        assert picked_mean[0].agent_node_id == b"poor"
+
+    def test_unknown_merge_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            select_agents([], [], 1, rng, merge="median")
+
+    def test_n_validation(self, rng):
+        with pytest.raises(ConfigError):
+            select_agents([], [], 0, rng)
+
+    def test_empty_candidates(self, rng):
+        assert select_agents([], [{}], 3, rng) == []
+
+    def test_fewer_candidates_than_n(self, rng):
+        entries = [entry(b"x", 0.5)]
+        picked = select_agents(entries, [rank_within_list(entries, 5)], 5, rng)
+        assert len(picked) == 1

@@ -1,0 +1,105 @@
+"""Unit tests for agent trust-value computation models."""
+
+import numpy as np
+import pytest
+
+from repro.core.trust_models import (
+    EWMAReportModel,
+    QualityDrivenModel,
+    ReportAverageModel,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestQualityDriven:
+    def test_good_agent_consistent(self, rng):
+        model = QualityDrivenModel(good=True)
+        for _ in range(50):
+            assert 0.6 <= model.evaluate(b"x", 1.0, rng) <= 1.0
+            assert 0.0 <= model.evaluate(b"x", 0.0, rng) <= 0.4
+
+    def test_poor_agent_inverted(self, rng):
+        model = QualityDrivenModel(good=False)
+        for _ in range(50):
+            assert 0.0 <= model.evaluate(b"x", 1.0, rng) <= 0.4
+            assert 0.6 <= model.evaluate(b"x", 0.0, rng) <= 1.0
+
+    def test_custom_ranges(self, rng):
+        model = QualityDrivenModel(good=True, good_range=(0.9, 1.0), bad_range=(0.0, 0.1))
+        assert model.evaluate(b"x", 1.0, rng) >= 0.9
+
+    def test_range_validation(self):
+        with pytest.raises(ConfigError):
+            QualityDrivenModel(good=True, good_range=(0.9, 0.1))
+
+    def test_reports_ignored(self, rng):
+        model = QualityDrivenModel(good=True)
+        model.observe_report(b"x", 0.0)  # no crash, no effect
+        assert model.evaluate(b"x", 1.0, rng) >= 0.6
+
+
+class TestReportAverage:
+    def test_prior_before_evidence(self, rng):
+        model = ReportAverageModel(prior=0.5)
+        assert model.evaluate(b"x", 1.0, rng) == 0.5
+
+    def test_mean_of_reports(self, rng):
+        model = ReportAverageModel()
+        model.observe_report(b"x", 1.0)
+        model.observe_report(b"x", 0.0)
+        model.observe_report(b"x", 1.0)
+        assert model.evaluate(b"x", 0.0, rng) == pytest.approx(2 / 3)
+
+    def test_subjects_independent(self, rng):
+        model = ReportAverageModel()
+        model.observe_report(b"x", 1.0)
+        assert model.evaluate(b"y", 0.0, rng) == 0.5
+
+    def test_report_count(self):
+        model = ReportAverageModel()
+        assert model.report_count(b"x") == 0
+        model.observe_report(b"x", 1.0)
+        assert model.report_count(b"x") == 1
+
+    def test_prior_validation(self):
+        with pytest.raises(ConfigError):
+            ReportAverageModel(prior=1.5)
+
+
+class TestEWMAReport:
+    def test_prior_before_evidence(self, rng):
+        assert EWMAReportModel().evaluate(b"x", 1.0, rng) == 0.5
+
+    def test_recent_reports_dominate(self, rng):
+        model = EWMAReportModel(alpha=0.5)
+        for _ in range(10):
+            model.observe_report(b"x", 1.0)
+        high = model.evaluate(b"x", 0.0, rng)
+        for _ in range(10):
+            model.observe_report(b"x", 0.0)
+        low = model.evaluate(b"x", 0.0, rng)
+        assert high > 0.9
+        assert low < 0.1
+
+    def test_oscillation_tracked_faster_than_mean(self, rng):
+        """A peer that turns bad: EWMA notices sooner than the plain mean."""
+        ewma = EWMAReportModel(alpha=0.5)
+        mean = ReportAverageModel()
+        for _ in range(50):
+            ewma.observe_report(b"x", 1.0)
+            mean.observe_report(b"x", 1.0)
+        for _ in range(5):
+            ewma.observe_report(b"x", 0.0)
+            mean.observe_report(b"x", 0.0)
+        assert ewma.evaluate(b"x", 0.0, rng) < mean.evaluate(b"x", 0.0, rng)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EWMAReportModel(alpha=0.0)
+        with pytest.raises(ConfigError):
+            EWMAReportModel(prior=-0.1)

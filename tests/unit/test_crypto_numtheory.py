@@ -1,0 +1,80 @@
+"""Unit tests for number-theoretic primitives."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.numtheory import (
+    egcd,
+    generate_prime,
+    is_probable_prime,
+    modinv,
+    random_odd,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, 2**31 - 1]
+KNOWN_COMPOSITES = [1, 0, -7, 4, 9, 100, 7917, 2**31 - 3, 561, 41041, 825265]
+# 561, 41041, 825265 are Carmichael numbers — fool Fermat, not Miller-Rabin.
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_known_primes(p):
+    assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+def test_known_composites(c):
+    assert not is_probable_prime(c)
+
+
+def test_egcd_identity():
+    g, x, y = egcd(240, 46)
+    assert g == 2
+    assert 240 * x + 46 * y == g
+
+
+def test_egcd_coprime():
+    g, x, y = egcd(17, 31)
+    assert g == 1
+    assert 17 * x + 31 * y == 1
+
+
+def test_modinv_roundtrip():
+    inv = modinv(3, 11)
+    assert (3 * inv) % 11 == 1
+
+
+def test_modinv_large():
+    m = 2**61 - 1
+    inv = modinv(123456789, m)
+    assert (123456789 * inv) % m == 1
+
+
+def test_modinv_not_coprime_raises():
+    with pytest.raises(ValueError):
+        modinv(6, 9)
+
+
+def test_random_odd_properties():
+    rng = np.random.default_rng(0)
+    for bits in (8, 64, 256):
+        n = random_odd(bits, rng)
+        assert n % 2 == 1
+        assert n.bit_length() == bits
+
+
+def test_random_odd_min_bits():
+    with pytest.raises(ValueError):
+        random_odd(1, np.random.default_rng(0))
+
+
+@pytest.mark.parametrize("bits", [16, 64, 128, 256])
+def test_generate_prime_bit_length_and_primality(bits):
+    rng = np.random.default_rng(bits)
+    p = generate_prime(bits, rng)
+    assert p.bit_length() == bits
+    assert is_probable_prime(p)
+
+
+def test_generate_prime_distinct_draws():
+    rng = np.random.default_rng(5)
+    assert generate_prime(64, rng) != generate_prime(64, rng)

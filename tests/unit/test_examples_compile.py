@@ -1,0 +1,39 @@
+"""Every example script must at least be valid Python importing real APIs."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least three examples"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every `from repro...` import in an example must exist."""
+    import importlib
+
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} does not exist"
+                )
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"

@@ -1,0 +1,64 @@
+"""Unit tests for the experiment result containers and rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Series, format_table
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series(name="s", x=[1, 2], y=[1.0])
+
+    def test_final(self):
+        assert Series(name="s", x=[1, 2], y=[5.0, 9.0]).final() == 9.0
+
+    def test_as_arrays(self):
+        xs, ys = Series(name="s", x=[1], y=[2.0]).as_arrays()
+        assert xs[0] == 1.0 and ys[0] == 2.0
+
+
+class TestExperimentResult:
+    def make(self):
+        r = ExperimentResult("exp", "Title", "x", "y")
+        r.series.append(Series(name="a", x=[1, 2, 3], y=[1.0, 2.0, 3.0]))
+        r.series.append(Series(name="b", x=[1, 2, 3], y=[3.0, 2.0, 1.0]))
+        return r
+
+    def test_get_by_name(self):
+        r = self.make()
+        assert r.get("a").y == [1.0, 2.0, 3.0]
+        with pytest.raises(KeyError):
+            r.get("missing")
+
+    def test_render_contains_series_names(self):
+        text = self.make().render()
+        assert "a" in text and "b" in text
+        assert "exp" in text
+
+    def test_render_notes_and_scalars(self):
+        r = self.make()
+        r.note("something held")
+        r.scalars["metric"] = 1.25
+        text = r.render()
+        assert "something held" in text
+        assert "1.25" in text
+
+    def test_render_empty_series(self):
+        r = ExperimentResult("e", "t", "x", "y")
+        assert "e" in r.render()
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["Name", "Val"], [("alpha", 1), ("b", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "Name" in lines[1]
+        assert "alpha" in text and "22" in text
+
+    def test_no_title(self):
+        text = format_table(["A"], [("x",)])
+        assert not text.startswith("==")

@@ -1,0 +1,78 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Series
+from repro.experiments.plotting import ascii_chart, render_result_chart
+
+
+def make_series():
+    xs = list(range(10))
+    return [
+        Series(name="up", x=xs, y=[float(i) for i in xs]),
+        Series(name="down", x=xs, y=[float(9 - i) for i in xs]),
+    ]
+
+
+def test_chart_contains_glyphs_and_legend():
+    text = ascii_chart(make_series(), y_label="value", x_label="step")
+    assert "o=up" in text
+    assert "x=down" in text
+    assert "o" in text and "x" in text
+
+
+def test_chart_extremes_labelled():
+    text = ascii_chart(make_series())
+    assert "9" in text
+    assert "0" in text
+
+
+def test_chart_dimensions():
+    text = ascii_chart(make_series(), width=40, height=10)
+    data_rows = [l for l in text.splitlines() if "|" in l]
+    assert len(data_rows) == 10
+    assert all(len(l.split("|", 1)[1]) <= 40 for l in data_rows)
+
+
+def test_empty_series_handled():
+    assert ascii_chart([]) == "(no data)"
+    assert ascii_chart([Series(name="e", x=[], y=[])]) == "(no data)"
+
+
+def test_nan_only_series_handled():
+    s = Series(name="n", x=[1, 2], y=[float("nan"), float("nan")])
+    assert "no finite data" in ascii_chart([s])
+
+
+def test_logy_requires_positive():
+    s = Series(name="z", x=[1, 2], y=[0.0, 0.0])
+    assert "no finite data" in ascii_chart([s], logy=True)
+
+
+def test_logy_labels_in_linear_units():
+    s = Series(name="big", x=[1, 2, 3], y=[10.0, 100.0, 1000.0])
+    text = ascii_chart([s], logy=True)
+    assert "1000" in text
+    assert "[log y]" in text
+
+
+def test_constant_series_no_division_by_zero():
+    s = Series(name="flat", x=[1, 2, 3], y=[5.0, 5.0, 5.0])
+    text = ascii_chart([s])
+    assert "o" in text
+
+
+def test_render_result_chart_header():
+    result = ExperimentResult("figX", "A Title", "t", "v")
+    result.series.append(Series(name="s", x=[1, 2], y=[1.0, 2.0]))
+    text = render_result_chart(result)
+    assert "figX" in text and "A Title" in text
+
+
+def test_mismatched_x_grids_interpolated():
+    a = Series(name="dense", x=list(range(100)), y=[float(i) for i in range(100)])
+    b = Series(name="sparse", x=[0, 99], y=[99.0, 0.0])
+    text = ascii_chart([a, b])
+    assert "o" in text and "x" in text

@@ -1,0 +1,147 @@
+"""Unit tests for the file-sharing layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import HiRepConfig
+from repro.core.system import HiRepSystem
+from repro.errors import ConfigError
+from repro.filesharing import FileCatalog, FileSharingSession, file_search
+from repro.net.topology import ring_lattice
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+@pytest.fixture
+def catalog(rng):
+    return FileCatalog.generate(50, 10, rng, min_replicas=2)
+
+
+class TestCatalog:
+    def test_holder_counts_within_bounds(self, catalog):
+        counts = catalog.replica_counts()
+        assert counts.min() >= 2
+        assert counts.max() <= 50
+
+    def test_zipf_popularity_decays(self, catalog):
+        counts = catalog.replica_counts()
+        assert counts[0] == counts.max()
+        assert counts[0] > counts[-1]
+
+    def test_holders_distinct_and_valid(self, catalog):
+        for f in range(catalog.n_files):
+            holders = catalog.holders_of(f)
+            assert len(holders) == len(set(holders))
+            assert all(0 <= h < 50 for h in holders)
+
+    def test_has_file(self, catalog):
+        holder = catalog.holders_of(0)[0]
+        assert catalog.has_file(holder, 0)
+
+    def test_popular_file(self, catalog):
+        assert catalog.popular_file() == int(np.argmax(catalog.replica_counts()))
+
+    def test_unknown_file_rejected(self, catalog):
+        with pytest.raises(ConfigError):
+            catalog.holders_of(99)
+
+    def test_generation_validation(self, rng):
+        with pytest.raises(ConfigError):
+            FileCatalog.generate(1, 5, rng)
+        with pytest.raises(ConfigError):
+            FileCatalog.generate(10, 0, rng)
+
+
+class TestSearch:
+    def test_finds_reachable_holders(self, rng):
+        topo = ring_lattice(20, k=1)
+        catalog = FileCatalog(n_peers=20, n_files=1, holders=[[2, 10]])
+        result = file_search(topo, 0, 0, ttl=3, catalog=catalog)
+        assert result.candidates == [2]  # node 10 is 10 hops away
+        assert result.found
+
+    def test_counts_query_and_hit_messages(self, rng):
+        topo = ring_lattice(20, k=1)
+        catalog = FileCatalog(n_peers=20, n_files=1, holders=[[2]])
+        result = file_search(topo, 0, 0, ttl=3, catalog=catalog)
+        assert result.query_messages == 6  # ring flood
+        assert result.hit_messages == 2    # depth of the holder
+        assert result.total_messages == 8
+
+    def test_origin_not_a_candidate(self, rng):
+        topo = ring_lattice(10, k=1)
+        catalog = FileCatalog(n_peers=10, n_files=1, holders=[[0, 1]])
+        result = file_search(topo, 0, 0, ttl=2, catalog=catalog)
+        assert 0 not in result.candidates
+
+    def test_offline_holders_unreachable(self, rng):
+        topo = ring_lattice(10, k=1)
+        catalog = FileCatalog(n_peers=10, n_files=1, holders=[[2]])
+        result = file_search(
+            topo, 0, 0, ttl=3, catalog=catalog, online=lambda n: n != 2
+        )
+        assert not result.found
+
+    def test_ttl_validation(self, rng):
+        topo = ring_lattice(10, k=1)
+        catalog = FileCatalog(n_peers=10, n_files=1, holders=[[2]])
+        with pytest.raises(ConfigError):
+            file_search(topo, 0, 0, ttl=0, catalog=catalog)
+
+
+class TestSession:
+    @pytest.fixture
+    def system(self):
+        cfg = HiRepConfig(
+            network_size=60, trusted_agents=10, refill_threshold=6,
+            agents_queried=4, tokens=6, onion_relays=2, seed=55,
+        )
+        s = HiRepSystem(cfg)
+        s.bootstrap()
+        s.run(30, requestor=0)  # train
+        return s
+
+    def test_download_picks_highest_estimate(self, system, rng):
+        catalog = FileCatalog.generate(60, 5, rng, min_replicas=6)
+        session = FileSharingSession(system, catalog, requestor=0)
+        outcome = session.download(0)
+        if outcome.provider is not None:
+            assert outcome.estimates[outcome.provider] == max(
+                outcome.estimates.values()
+            )
+
+    def test_clean_rate_beats_random_when_trained(self, system, rng):
+        catalog = FileCatalog.generate(60, 8, rng, min_replicas=8)
+        session = FileSharingSession(system, catalog, requestor=0)
+        for f in range(8):
+            for _ in range(4):
+                session.download(f)
+        pollution = 1.0 - float(system.truth.mean())
+        assert session.clean_rate() > 1.0 - pollution - 0.05
+
+    def test_no_candidates_recorded_as_miss(self, system, rng):
+        catalog = FileCatalog(
+            n_peers=60, n_files=1, holders=[[0]]  # only the requestor itself
+        )
+        session = FileSharingSession(system, catalog, requestor=0)
+        outcome = session.download(0)
+        assert outcome.provider is None
+        assert not outcome.succeeded
+        assert math.isnan(session.clean_rate())
+        assert session.hit_rate() == 0.0
+
+    def test_max_candidates_respected(self, system, rng):
+        catalog = FileCatalog.generate(60, 1, rng, min_replicas=30)
+        session = FileSharingSession(system, catalog, requestor=0, max_candidates=3)
+        outcome = session.download(0)
+        assert outcome.candidates <= 3
+
+    def test_validation(self, system, rng):
+        catalog = FileCatalog.generate(60, 1, rng)
+        with pytest.raises(ConfigError):
+            FileSharingSession(system, catalog, 0, max_candidates=0)

@@ -1,0 +1,64 @@
+"""Unit tests for the churn model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.churn import ChurnModel
+from repro.net.network import P2PNetwork
+from repro.net.topology import ring_lattice
+
+
+@pytest.fixture
+def net():
+    return P2PNetwork(ring_lattice(50, k=1), np.random.default_rng(1))
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ChurnModel(leave_prob=1.5)
+    with pytest.raises(ConfigError):
+        ChurnModel(leave_prob=0.1, rejoin_prob=-0.1)
+
+
+def test_zero_churn_is_noop(net):
+    churn = ChurnModel(leave_prob=0.0, rejoin_prob=0.0)
+    rng = np.random.default_rng(2)
+    churn.step(net, rng)
+    assert len(net.online_nodes()) == 50
+
+
+def test_certain_leave_empties_network(net):
+    churn = ChurnModel(leave_prob=1.0, rejoin_prob=0.0)
+    churn.step(net, np.random.default_rng(2))
+    assert net.online_nodes() == []
+    assert churn.stats.departures == 50
+
+
+def test_rejoin_brings_nodes_back(net):
+    churn = ChurnModel(leave_prob=1.0, rejoin_prob=1.0)
+    rng = np.random.default_rng(2)
+    churn.step(net, rng)  # all leave
+    churn.step(net, rng)  # all rejoin
+    assert len(net.online_nodes()) == 50
+    assert churn.stats.rejoins == 50
+
+
+def test_protected_nodes_never_leave(net):
+    churn = ChurnModel(leave_prob=1.0, rejoin_prob=0.0, protected={7})
+    churn.step(net, np.random.default_rng(2))
+    assert net.online_nodes() == [7]
+
+
+def test_stationary_fraction_approached(net):
+    churn = ChurnModel(leave_prob=0.1, rejoin_prob=0.3)
+    rng = np.random.default_rng(3)
+    for _ in range(200):
+        churn.step(net, rng)
+    online = len(net.online_nodes()) / 50
+    assert abs(online - churn.expected_online_fraction()) < 0.25
+
+
+def test_expected_online_fraction_formula():
+    assert ChurnModel(0.1, 0.3).expected_online_fraction() == pytest.approx(0.75)
+    assert ChurnModel(0.0, 0.0).expected_online_fraction() == 1.0

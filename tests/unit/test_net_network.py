@@ -1,0 +1,142 @@
+"""Unit tests for the P2P network delivery layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError, NotConnectedError, UnknownNodeError
+from repro.net.latency import ConstantLatency
+from repro.net.messages import Category, NetMessage
+from repro.net.network import P2PNetwork
+from repro.net.topology import ring_lattice
+
+
+@pytest.fixture
+def net():
+    rng = np.random.default_rng(1)
+    return P2PNetwork(
+        ring_lattice(10, k=1),
+        rng,
+        latency_model=ConstantLatency(10.0),
+        model_transmission=False,
+    )
+
+
+def collect(net, ip):
+    box = []
+    net.register_handler(ip, box.append)
+    return box
+
+
+def test_send_delivers_payload(net):
+    box = collect(net, 3)
+    net.send(0, 3, {"hello": 1})
+    net.run()
+    assert len(box) == 1
+    assert box[0].payload == {"hello": 1}
+    assert box[0].src == 0 and box[0].dst == 3
+
+
+def test_send_applies_latency(net):
+    box = collect(net, 5)
+    net.send(0, 5, "x")
+    net.run()
+    assert net.engine.now == 10.0
+
+
+def test_send_counts_by_category(net):
+    net.send(0, 1, "x", category=Category.TRUST_QUERY)
+    net.send(0, 2, "y", category=Category.TRUST_QUERY)
+    assert net.counter.by_category[Category.TRUST_QUERY] == 2
+
+
+def test_send_uncounted_when_requested(net):
+    net.send(0, 1, "x", count=False)
+    assert net.counter.total == 0
+
+
+def test_offline_sender_rejected(net):
+    net.set_online(0, False)
+    with pytest.raises(NetworkError):
+        net.send(0, 1, "x")
+
+
+def test_offline_destination_drops_but_charges(net):
+    box = collect(net, 4)
+    net.set_online(4, False)
+    net.send(0, 4, "x")
+    net.run()
+    assert box == []
+    assert net.counter.total == 1
+
+
+def test_unknown_node_rejected(net):
+    with pytest.raises(UnknownNodeError):
+        net.send(0, 99, "x")
+    with pytest.raises(UnknownNodeError):
+        net.node(-11)
+
+
+def test_overlay_send_requires_adjacency(net):
+    # ring k=1: node 0's neighbours are 1 and 9.
+    box = collect(net, 1)
+    net.send_overlay(0, 1, "ok")
+    net.run()
+    assert len(box) == 1
+    with pytest.raises(NotConnectedError):
+        net.send_overlay(0, 5, "nope")
+
+
+def test_online_listing(net):
+    net.set_online(2, False)
+    online = net.online_nodes()
+    assert 2 not in online
+    assert len(online) == 9
+
+
+def test_agent_capable_respects_cutoff_and_liveness(net):
+    capable = net.agent_capable_nodes()
+    for ip in capable:
+        assert net.node(ip).bandwidth_kbps > 64.0
+    if capable:
+        net.set_online(capable[0], False)
+        assert capable[0] not in net.agent_capable_nodes()
+
+
+def test_path_latency_sums_hops(net):
+    assert net.path_latency([0, 1, 2, 3]) == pytest.approx(30.0)
+    assert net.path_latency([5]) == 0.0
+
+
+def test_transmission_ms_formula():
+    # 512 bytes at 64 kbps: 512*8/64 = 64 ms.
+    assert P2PNetwork.transmission_ms(64.0, 512) == pytest.approx(64.0)
+
+
+def test_transmission_queueing_serializes():
+    """Two messages to one node: second waits for the first's transmission."""
+    rng = np.random.default_rng(2)
+    net = P2PNetwork(
+        ring_lattice(6, k=1),
+        rng,
+        latency_model=ConstantLatency(10.0),
+        model_transmission=True,
+    )
+    arrivals = []
+    net.register_handler(3, lambda m: arrivals.append(net.engine.now))
+    transmit = net.transmission_ms(net.node(3).bandwidth_kbps, 512)
+    net.send(0, 3, "a")
+    net.send(1, 3, "b")
+    net.run()
+    assert arrivals[0] == pytest.approx(10.0 + transmit)
+    assert arrivals[1] == pytest.approx(10.0 + 2 * transmit)
+
+
+def test_custom_message_size(net):
+    msg = net.send(0, 1, "x", size_bytes=2048)
+    assert msg.size_bytes == 2048
+
+
+def test_netmessage_ids_unique():
+    a = NetMessage(src=0, dst=1, payload=None)
+    b = NetMessage(src=0, dst=1, payload=None)
+    assert a.msg_id != b.msg_id

@@ -1,0 +1,145 @@
+"""Unit tests for the dynamic Gnutella-style overlay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, UnknownNodeError
+from repro.net.overlay import DynamicOverlay
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+@pytest.fixture
+def overlay(rng):
+    ov = DynamicOverlay(target_degree=3, min_degree=2, max_degree=6, ping_ttl=3)
+    ov.seed(list(range(6)))
+    return ov
+
+
+def grow(overlay, rng, start, count):
+    for node in range(start, start + count):
+        overlay.join(node, bootstrap=int(rng.integers(0, node)), rng=rng)
+
+
+class TestSeed:
+    def test_ring_connected(self, overlay):
+        assert len(overlay) == 6
+        assert overlay.is_connected()
+        assert all(overlay.degree(n) == 2 for n in overlay.members())
+
+    def test_seed_validation(self):
+        with pytest.raises(ConfigError):
+            DynamicOverlay().seed([1])
+
+
+class TestJoin:
+    def test_join_reaches_target_degree(self, overlay, rng):
+        made = overlay.join(100, bootstrap=0, rng=rng)
+        assert made == 3
+        assert overlay.degree(100) == 3
+        assert overlay.is_connected()
+
+    def test_join_counts_ping_pong_traffic(self, overlay, rng):
+        overlay.join(100, bootstrap=0, rng=rng)
+        assert overlay.counter.by_category["gnutella_ping"] > 0
+        assert overlay.counter.by_category["gnutella_pong"] > 0
+        assert overlay.counter.by_category["gnutella_connect"] == 3
+
+    def test_join_unknown_bootstrap(self, overlay, rng):
+        with pytest.raises(UnknownNodeError):
+            overlay.join(100, bootstrap=999, rng=rng)
+
+    def test_double_join_rejected(self, overlay, rng):
+        overlay.join(100, bootstrap=0, rng=rng)
+        with pytest.raises(ConfigError):
+            overlay.join(100, bootstrap=0, rng=rng)
+
+    def test_grown_overlay_stays_connected(self, overlay, rng):
+        grow(overlay, rng, 6, 50)
+        assert len(overlay) == 56
+        assert overlay.is_connected()
+
+    def test_max_degree_respected(self, overlay, rng):
+        grow(overlay, rng, 6, 80)
+        assert max(overlay.degree(n) for n in overlay.members()) <= 6
+
+
+class TestLeaveAndRepair:
+    def test_leave_removes_edges(self, overlay, rng):
+        grow(overlay, rng, 6, 10)
+        nbrs = overlay.leave(3)
+        assert 3 not in overlay
+        for nbr in nbrs:
+            assert 3 not in overlay.neighbors(nbr)
+
+    def test_leave_unknown(self, overlay):
+        with pytest.raises(UnknownNodeError):
+            overlay.leave(999)
+
+    def test_repair_restores_min_degree(self, overlay, rng):
+        grow(overlay, rng, 6, 20)
+        # Tear out a popular node's whole neighbourhood.
+        victim = max(overlay.members(), key=overlay.degree)
+        for nbr in list(overlay.neighbors(victim)):
+            if len(overlay) > 8:
+                overlay.leave(nbr)
+        overlay.repair(rng)
+        degrees = [overlay.degree(n) for n in overlay.members()]
+        assert min(degrees) >= overlay.min_degree
+
+    def test_repair_reconnects_partition(self, overlay, rng):
+        grow(overlay, rng, 6, 20)
+        # Force a partition by removing every edge of one node.
+        node = overlay.members()[0]
+        for nbr in list(overlay.neighbors(node)):
+            overlay._disconnect(node, nbr)
+        assert not overlay.is_connected()
+        overlay.repair(rng)
+        assert overlay.is_connected()
+
+    def test_churn_cycle_preserves_health(self, overlay, rng):
+        grow(overlay, rng, 6, 40)
+        for round_ in range(10):
+            members = overlay.members()
+            victim = members[int(rng.integers(0, len(members)))]
+            overlay.leave(victim)
+            overlay.join(1000 + round_, bootstrap=overlay.members()[0], rng=rng)
+            overlay.repair(rng)
+        assert overlay.is_connected()
+        assert min(overlay.degree(n) for n in overlay.members()) >= 2
+
+
+class TestSnapshot:
+    def test_as_topology_matches_overlay(self, overlay, rng):
+        grow(overlay, rng, 6, 10)
+        topo = overlay.as_topology()
+        index = overlay.index_map()
+        assert topo.n == len(overlay)
+        for member in overlay.members():
+            snap_nbrs = {list(index.keys())[list(index.values()).index(v)]
+                         for v in topo.neighbors(index[member])}
+            assert snap_nbrs == overlay.neighbors(member)
+
+    def test_snapshot_usable_by_flooding(self, overlay, rng):
+        from repro.net.flooding import flood_bfs
+
+        grow(overlay, rng, 6, 30)
+        topo = overlay.as_topology()
+        result = flood_bfs(topo, 0, 4)
+        assert result.reach > 0
+
+    def test_empty_overlay_connected(self):
+        assert DynamicOverlay().is_connected()
+
+
+class TestValidation:
+    def test_degree_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            DynamicOverlay(target_degree=2, min_degree=3)
+        with pytest.raises(ConfigError):
+            DynamicOverlay(target_degree=9, max_degree=5)
+        with pytest.raises(ConfigError):
+            DynamicOverlay(ping_ttl=0)

@@ -1,0 +1,126 @@
+"""Unit tests for topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.topology import (
+    Topology,
+    power_law_topology,
+    random_topology,
+    ring_lattice,
+    small_world_topology,
+    topology_for_degree,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+GENERATORS = [
+    lambda n, d, rng: power_law_topology(n, d, rng),
+    lambda n, d, rng: random_topology(n, d, rng),
+    lambda n, d, rng: small_world_topology(n, d, rng),
+]
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_connected(gen, rng):
+    topo = gen(200, 4, rng)
+    assert topo.is_connected()
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_symmetric_adjacency(gen, rng):
+    topo = gen(100, 4, rng)
+    for u in range(topo.n):
+        for v in topo.neighbors(u):
+            assert u in topo.neighbors(v)
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_no_self_loops(gen, rng):
+    topo = gen(100, 4, rng)
+    for u in range(topo.n):
+        assert u not in topo.neighbors(u)
+
+
+def test_power_law_average_degree_close(rng):
+    topo = power_law_topology(1000, 4, rng)
+    assert abs(topo.average_degree() - 4) < 1.0
+
+
+def test_power_law_degree_3_between_2_and_4(rng):
+    """The fractional-attachment fix: degree 3 must differ from 2 and 4."""
+    d2 = power_law_topology(800, 2, np.random.default_rng(1)).average_degree()
+    d3 = power_law_topology(800, 3, np.random.default_rng(1)).average_degree()
+    d4 = power_law_topology(800, 4, np.random.default_rng(1)).average_degree()
+    assert d2 < d3 < d4
+
+
+def test_power_law_heavy_tail(rng):
+    """Power-law graphs have hubs: max degree far above the mean."""
+    topo = power_law_topology(1000, 4, rng)
+    degrees = topo.degrees()
+    assert degrees.max() > 5 * degrees.mean()
+
+
+def test_random_topology_no_heavy_tail(rng):
+    topo = random_topology(1000, 8, rng)
+    degrees = topo.degrees()
+    assert degrees.max() < 4 * degrees.mean()
+
+
+def test_ring_lattice_uniform_degree():
+    topo = ring_lattice(20, k=2)
+    assert set(topo.degrees()) == {4}
+    assert topo.is_connected()
+
+
+def test_ring_lattice_min_size():
+    with pytest.raises(ConfigError):
+        ring_lattice(2)
+
+
+def test_edges_listed_once(rng):
+    topo = power_law_topology(50, 4, rng)
+    edges = topo.edges()
+    assert len(edges) == len(set(edges))
+    assert all(u < v for u, v in edges)
+    assert len(edges) * 2 == int(topo.degrees().sum())
+
+
+def test_too_few_nodes_rejected(rng):
+    with pytest.raises(ConfigError):
+        power_law_topology(1, 2, rng)
+
+
+def test_degree_too_large_rejected(rng):
+    with pytest.raises(ConfigError):
+        power_law_topology(4, 10, rng)
+
+
+def test_small_world_rewire_bounds(rng):
+    with pytest.raises(ConfigError):
+        small_world_topology(50, 4, rng, rewire=1.5)
+
+
+def test_dispatch_by_name(rng):
+    for kind in ("power_law", "random", "small_world", "ring"):
+        topo = topology_for_degree(kind, 60, 4, rng)
+        assert isinstance(topo, Topology)
+        assert topo.is_connected()
+    with pytest.raises(ConfigError):
+        topology_for_degree("torus", 60, 4, rng)
+
+
+def test_reproducible_from_seed():
+    a = power_law_topology(100, 4, np.random.default_rng(7))
+    b = power_law_topology(100, 4, np.random.default_rng(7))
+    assert a.adjacency == b.adjacency
+
+
+def test_empty_graph_is_connected_trivially():
+    assert Topology(n=0, adjacency=()).is_connected()

@@ -1,0 +1,124 @@
+"""Unit tests for the Fig. 3 anonymity-key handshake."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import PeerKeys
+from repro.crypto.nonce import NonceRegistry
+from repro.errors import KeyMismatchError, ProtocolError
+from repro.net.latency import ConstantLatency
+from repro.net.network import P2PNetwork
+from repro.net.topology import ring_lattice
+from repro.onion.handshake import (
+    HANDSHAKE_MESSAGES,
+    HandshakeInitiator,
+    HandshakeResponder,
+    RelayRequest,
+    perform_handshake,
+)
+
+
+@pytest.fixture
+def parties(backend, rng):
+    p = PeerKeys.generate(backend, rng)
+    k = PeerKeys.generate(backend, rng)
+    initiator = HandshakeInitiator(backend, p.ap, p.ar, ip=0)
+    responder = HandshakeResponder(backend, k.ap, k.ar, ip=1, nonces=NonceRegistry(rng))
+    return p, k, initiator, responder
+
+
+def drive(backend, initiator, responder):
+    sealed_key = responder.on_request(initiator.request())
+    probe = initiator.on_key_response(sealed_key)
+    assert probe is not None
+    confirmation = responder.on_probe(initiator.seal_probe(probe))
+    assert confirmation is not None
+    return initiator.on_confirmation(confirmation)
+
+
+def test_happy_path_learns_real_key(backend, parties):
+    p, k, initiator, responder = parties
+    assert drive(backend, initiator, responder) == k.ap
+
+
+def test_request_carries_initiator_identity(parties):
+    p, _k, initiator, _ = parties
+    request = initiator.request()
+    assert isinstance(request, RelayRequest)
+    assert request.ap_initiator == p.ap
+    assert request.ip_initiator == 0
+
+
+def test_mitm_key_substitution_detected(backend, rng, parties):
+    """A MITM replaces AP_k in message 2 with its own key; the verification
+    probe is then sealed to the MITM key, but message 4 must come sealed to
+    AP_p *from the party holding the claimed key* — the attacker cannot
+    produce a confirmation the initiator accepts for the real relay's IP."""
+    p, k, initiator, responder = parties
+    mitm = PeerKeys.generate(backend, rng)
+    # Attacker intercepts message 2 and substitutes its own key material.
+    from repro.onion.handshake import KeyResponse
+
+    forged = backend.encrypt(
+        p.ap, KeyResponse(ap_relay=mitm.ap, ip_relay=1, nonce=777)
+    )
+    probe = initiator.on_key_response(forged)
+    assert probe is not None  # initiator cannot tell yet
+    sealed_probe = initiator.seal_probe(probe)
+    # The real responder cannot open a probe sealed to the MITM's key.
+    assert responder.on_probe(sealed_probe) is None
+    # And a confirmation forged without knowing the nonce/key fails too.
+    with pytest.raises(KeyMismatchError):
+        initiator.on_confirmation(b"garbage")
+
+
+def test_unreadable_key_response_aborts(backend, rng, parties):
+    _p, _k, initiator, _responder = parties
+    other = PeerKeys.generate(backend, rng)
+    sealed_to_other = backend.encrypt(other.ap, "whatever")
+    assert initiator.on_key_response(sealed_to_other) is None
+
+
+def test_confirmation_with_wrong_nonce_rejected(backend, parties):
+    from repro.onion.handshake import Confirmation
+
+    p, k, initiator, responder = parties
+    sealed_key = responder.on_request(initiator.request())
+    initiator.on_key_response(sealed_key)
+    bad = backend.encrypt(p.ap, Confirmation(confirmed=True, ip_relay=1, nonce=0))
+    with pytest.raises(KeyMismatchError):
+        initiator.on_confirmation(bad)
+
+
+def test_replayed_probe_gets_no_confirmation(backend, parties):
+    _p, _k, initiator, responder = parties
+    sealed_key = responder.on_request(initiator.request())
+    probe = initiator.on_key_response(sealed_key)
+    sealed_probe = initiator.seal_probe(probe)
+    assert responder.on_probe(sealed_probe) is not None
+    # Replaying the same probe: the nonce is spent.
+    assert responder.on_probe(sealed_probe) is None
+
+
+def test_out_of_order_calls_raise(parties):
+    _p, _k, initiator, _responder = parties
+    with pytest.raises(ProtocolError):
+        initiator.seal_probe(None)
+    with pytest.raises(ProtocolError):
+        initiator.on_confirmation(b"x")
+
+
+def test_perform_handshake_counts_four_messages(backend, rng):
+    p = PeerKeys.generate(backend, rng)
+    k = PeerKeys.generate(backend, rng)
+    net = P2PNetwork(
+        ring_lattice(4, k=1),
+        rng,
+        latency_model=ConstantLatency(1.0),
+        model_transmission=False,
+    )
+    initiator = HandshakeInitiator(backend, p.ap, p.ar, ip=0)
+    responder = HandshakeResponder(backend, k.ap, k.ar, ip=1, nonces=NonceRegistry(rng))
+    key = perform_handshake(net, backend, initiator, responder, 0, 1)
+    assert key == k.ap
+    assert net.counter.by_category["key_exchange"] == HANDSHAKE_MESSAGES

@@ -1,0 +1,105 @@
+"""Unit tests for onion construction and peeling."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import PeerKeys
+from repro.errors import OnionPeelError
+from repro.onion.onion import build_onion, peel, random_relay_path
+
+
+@pytest.fixture
+def chain(backend, rng):
+    """Owner + 3 relays with key material."""
+    owner = PeerKeys.generate(backend, rng)
+    relays = [PeerKeys.generate(backend, rng) for _ in range(3)]
+    return owner, relays
+
+
+def build(backend, owner, relays, seq=1):
+    relay_keys = [(i + 1, r.ap) for i, r in enumerate(relays)]
+    return build_onion(backend, owner.ap, owner.sr, 0, relay_keys, seq=seq)
+
+
+def test_first_hop_is_outermost_relay(backend, chain):
+    owner, relays = chain
+    onion = build(backend, owner, relays)
+    assert onion.first_hop == 3  # last entry in relay_keys
+
+
+def test_full_peel_chain_reaches_owner(backend, chain):
+    owner, relays = chain
+    onion = build(backend, owner, relays)
+    # Peel at relay 3 (outermost) -> next 2 -> next 1 -> owner.
+    out3 = peel(backend, relays[2].ar, onion.blob)
+    assert not out3.delivered and out3.next_ip == 2
+    out2 = peel(backend, relays[1].ar, out3.inner)
+    assert not out2.delivered and out2.next_ip == 1
+    out1 = peel(backend, relays[0].ar, out2.inner)
+    assert not out1.delivered and out1.next_ip == 0
+    final = peel(backend, owner.ar, out1.inner)
+    assert final.delivered
+    assert final.next_ip is None
+
+
+def test_wrong_relay_cannot_peel(backend, chain):
+    owner, relays = chain
+    onion = build(backend, owner, relays)
+    with pytest.raises(OnionPeelError):
+        peel(backend, relays[0].ar, onion.blob)  # inner relay, not outermost
+    with pytest.raises(OnionPeelError):
+        peel(backend, owner.ar, onion.blob)
+
+
+def test_relayless_onion_delivers_to_owner(backend, rng):
+    owner = PeerKeys.generate(backend, rng)
+    onion = build_onion(backend, owner.ap, owner.sr, 5, [], seq=1)
+    assert onion.first_hop == 5
+    assert peel(backend, owner.ar, onion.blob).delivered
+
+
+def test_signature_verifies_with_owner_sp(backend, chain):
+    owner, relays = chain
+    onion = build(backend, owner, relays)
+    assert onion.verify(backend, owner.sp)
+
+
+def test_signature_fails_with_other_key(backend, rng, chain):
+    owner, relays = chain
+    onion = build(backend, owner, relays)
+    other = PeerKeys.generate(backend, rng)
+    assert not onion.verify(backend, other.sp)
+
+
+def test_seq_recorded(backend, chain):
+    owner, relays = chain
+    onion = build(backend, owner, relays, seq=42)
+    assert onion.seq == 42
+
+
+def test_tampered_blob_fails_peel(sim_backend, rng):
+    owner = PeerKeys.generate(sim_backend, rng)
+    relay = PeerKeys.generate(sim_backend, rng)
+    onion = build_onion(
+        sim_backend, owner.ap, owner.sr, 0, [(1, relay.ap)], seq=1
+    )
+    with pytest.raises(OnionPeelError):
+        peel(sim_backend, relay.ar, b"tampered")
+
+
+class TestRandomRelayPath:
+    def test_excludes_owner(self, rng):
+        for _ in range(50):
+            path = random_relay_path(list(range(10)), owner_ip=3, n_relays=5, rng=rng)
+            assert 3 not in path
+
+    def test_distinct_relays(self, rng):
+        path = random_relay_path(list(range(20)), 0, 10, rng)
+        assert len(path) == len(set(path)) == 10
+
+    def test_zero_relays(self, rng):
+        assert random_relay_path(list(range(5)), 0, 0, rng) == []
+
+    def test_oversubscription_returns_whole_pool(self, rng):
+        path = random_relay_path([0, 1, 2], owner_ip=0, n_relays=10, rng=rng)
+        assert sorted(path) == [1, 2]

@@ -1,0 +1,66 @@
+"""Unit tests for the report_scope config option (§3.6's 'all' wording)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HiRepConfig
+from repro.core.system import HiRepSystem
+from repro.errors import ConfigError
+
+
+def build(scope: str) -> HiRepSystem:
+    cfg = HiRepConfig(
+        network_size=60,
+        trusted_agents=10,
+        refill_threshold=6,
+        agents_queried=3,
+        tokens=6,
+        onion_relays=1,
+        report_scope=scope,
+        seed=33,
+    )
+    system = HiRepSystem(cfg)
+    system.bootstrap()
+    system.reset_metrics()
+    return system
+
+
+def test_invalid_scope_rejected():
+    with pytest.raises(ConfigError):
+        HiRepConfig(report_scope="everyone")
+
+
+def test_answered_scope_traffic_is_exact():
+    system = build("answered")
+    out = system.run_transaction(requestor=0)
+    # 3 legs x c x (o+1)
+    assert out.trust_messages == 3 * 3 * 2
+
+
+def test_all_scope_reports_to_whole_list():
+    system = build("all")
+    out = system.run_transaction(requestor=0)
+    c, o = 3, 1
+    list_size = len(system.peers[0].agent_list)
+    expected = 2 * c * (o + 1) + list_size * (o + 1)
+    assert out.trust_messages == expected
+    assert out.trust_messages > 3 * c * (o + 1)
+
+
+def test_all_scope_unanswered_agents_reject_unknown_reporter():
+    """Agents that never served this peer drop its reports (no SP on file) —
+    faithful §3.5.3 behaviour, visible as rejections."""
+    system = build("all")
+    system.run(3, requestor=0)
+    rejected = sum(a.stats.reports_rejected for a in system.agents.values())
+    accepted = sum(a.stats.reports_accepted for a in system.agents.values())
+    assert accepted > 0
+    assert rejected > 0  # the broadcast tail hits uninformed agents
+
+
+def test_scopes_agree_on_accuracy():
+    a = build("answered")
+    b = build("all")
+    a.run(30, requestor=0)
+    b.run(30, requestor=0)
+    assert abs(a.mse.mse() - b.mse.mse()) < 0.05

@@ -1,0 +1,53 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimClock(10.0).now == 10.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        SimClock(-1.0)
+
+
+def test_advance_forward():
+    clock = SimClock()
+    clock.advance_to(5.0)
+    assert clock.now == 5.0
+
+
+def test_advance_to_same_time_allowed():
+    clock = SimClock(3.0)
+    clock.advance_to(3.0)
+    assert clock.now == 3.0
+
+
+def test_advance_backwards_rejected():
+    clock = SimClock(5.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(4.999)
+
+
+def test_reset():
+    clock = SimClock()
+    clock.advance_to(100.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_reset_negative_rejected():
+    with pytest.raises(SimulationError):
+        SimClock().reset(-0.5)
+
+
+def test_repr_mentions_time():
+    assert "42" in repr(SimClock(42.0))

@@ -1,0 +1,129 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import EventQueueEmpty, SimulationError
+from repro.sim.engine import SimEngine
+
+
+def test_run_executes_in_time_order():
+    engine = SimEngine()
+    log = []
+    engine.schedule(2.0, lambda: log.append("b"))
+    engine.schedule(1.0, lambda: log.append("a"))
+    engine.run()
+    assert log == ["a", "b"]
+
+
+def test_clock_advances_with_events():
+    engine = SimEngine()
+    times = []
+    engine.schedule(1.5, lambda: times.append(engine.now))
+    engine.schedule(4.0, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [1.5, 4.0]
+    assert engine.now == 4.0
+
+
+def test_schedule_in_is_relative():
+    engine = SimEngine()
+    seen = []
+    engine.schedule(10.0, lambda: engine.schedule_in(5.0, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [15.0]
+
+
+def test_schedule_into_past_rejected():
+    engine = SimEngine()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(4.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        SimEngine().schedule_in(-1.0, lambda: None)
+
+
+def test_callbacks_can_schedule_more_events():
+    engine = SimEngine()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            engine.schedule_in(1.0, lambda: chain(n + 1))
+
+    engine.schedule(0.0, lambda: chain(0))
+    executed = engine.run()
+    assert log == [0, 1, 2, 3]
+    assert executed == 4
+
+
+def test_run_until_stops_before_later_events():
+    engine = SimEngine()
+    log = []
+    engine.schedule(1.0, lambda: log.append(1))
+    engine.schedule(10.0, lambda: log.append(10))
+    engine.run(until=5.0)
+    assert log == [1]
+    assert engine.now == 5.0  # clock advanced to the horizon
+    engine.run()
+    assert log == [1, 10]
+
+
+def test_run_max_events():
+    engine = SimEngine()
+    for i in range(10):
+        engine.schedule(float(i), lambda: None)
+    assert engine.run(max_events=3) == 3
+    assert len(engine.queue) == 7
+
+
+def test_step_on_empty_raises():
+    with pytest.raises(EventQueueEmpty):
+        SimEngine().step()
+
+
+def test_cancel_prevents_execution():
+    engine = SimEngine()
+    log = []
+    event = engine.schedule(1.0, lambda: log.append("x"))
+    engine.cancel(event)
+    engine.run()
+    assert log == []
+
+
+def test_events_processed_counter():
+    engine = SimEngine()
+    for i in range(5):
+        engine.schedule(float(i), lambda: None)
+    engine.run()
+    assert engine.events_processed == 5
+
+
+def test_reset_clears_state():
+    engine = SimEngine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    engine.schedule(7.0, lambda: None)
+    engine.reset()
+    assert engine.now == 0.0
+    assert engine.events_processed == 0
+    assert not engine.queue
+
+
+def test_reentrant_run_rejected():
+    engine = SimEngine()
+    errors = []
+
+    def nested():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule(1.0, nested)
+    engine.run()
+    assert len(errors) == 1

@@ -1,0 +1,107 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import EventQueueEmpty, SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    q.push(3.0, lambda: None, label="c")
+    q.push(1.0, lambda: None, label="a")
+    q.push(2.0, lambda: None, label="b")
+    assert [q.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_fifo_for_equal_times():
+    q = EventQueue()
+    for i in range(10):
+        q.push(5.0, lambda: None, label=str(i))
+    assert [q.pop().label for _ in range(10)] == [str(i) for i in range(10)]
+
+
+def test_priority_breaks_time_ties():
+    q = EventQueue()
+    q.push(1.0, lambda: None, priority=5, label="low")
+    q.push(1.0, lambda: None, priority=-1, label="high")
+    assert q.pop().label == "high"
+
+
+def test_pop_empty_raises():
+    q = EventQueue()
+    with pytest.raises(EventQueueEmpty):
+        q.pop()
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.push(-1.0, lambda: None)
+
+
+def test_len_tracks_live_events():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(4)]
+    assert len(q) == 4
+    q.cancel(events[0])
+    assert len(q) == 3
+    q.pop()
+    assert len(q) == 2
+
+
+def test_cancelled_event_skipped_on_pop():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None, label="first")
+    q.push(2.0, lambda: None, label="second")
+    q.cancel(first)
+    assert q.pop().label == "second"
+
+
+def test_double_cancel_is_idempotent():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(e)
+    q.cancel(e)
+    assert len(q) == 1
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    q.cancel(first)
+    assert q.peek_time() == 5.0
+
+
+def test_peek_time_empty_raises():
+    q = EventQueue()
+    with pytest.raises(EventQueueEmpty):
+        q.peek_time()
+
+
+def test_clear_drops_everything():
+    q = EventQueue()
+    for i in range(5):
+        q.push(float(i), lambda: None)
+    q.clear()
+    assert not q
+    with pytest.raises(EventQueueEmpty):
+        q.pop()
+
+
+def test_bool_reflects_liveness():
+    q = EventQueue()
+    assert not q
+    e = q.push(1.0, lambda: None)
+    assert q
+    q.cancel(e)
+    assert not q
+
+
+def test_event_cancel_flag():
+    e = Event(time=1.0)
+    assert not e.cancelled
+    e.cancel()
+    assert e.cancelled

@@ -1,0 +1,152 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimEngine
+from repro.sim.process import spawn
+
+
+@pytest.fixture
+def engine():
+    return SimEngine()
+
+
+def test_sleep_advances_clock(engine):
+    times = []
+
+    def proc():
+        times.append(engine.now)
+        yield 10.0
+        times.append(engine.now)
+        yield 5.0
+        times.append(engine.now)
+
+    spawn(engine, proc())
+    engine.run()
+    assert times == [0.0, 10.0, 15.0]
+
+
+def test_result_captured(engine):
+    def proc():
+        yield 1.0
+        return 42
+
+    handle = spawn(engine, proc())
+    engine.run()
+    assert handle.done
+    assert handle.result == 42
+
+
+def test_join_waits_for_child(engine):
+    order = []
+
+    def child():
+        yield 20.0
+        order.append(("child-done", engine.now))
+        return "payload"
+
+    def parent(child_handle):
+        got = yield child_handle
+        order.append(("parent-resumed", engine.now, got))
+
+    child_handle = spawn(engine, child())
+    spawn(engine, parent(child_handle))
+    engine.run()
+    assert order == [("child-done", 20.0), ("parent-resumed", 20.0, "payload")]
+
+
+def test_join_finished_process_immediate(engine):
+    def child():
+        return "early"
+        yield  # pragma: no cover
+
+    child_handle = spawn(engine, child())
+    engine.run()
+    results = []
+
+    def parent():
+        got = yield child_handle
+        results.append(got)
+
+    spawn(engine, parent())
+    engine.run()
+    assert results == ["early"]
+
+
+def test_interleaving_of_two_processes(engine):
+    log = []
+
+    def proc(name, delay):
+        for _ in range(3):
+            yield delay
+            log.append((name, engine.now))
+
+    spawn(engine, proc("a", 10.0))
+    spawn(engine, proc("b", 15.0))
+    engine.run()
+    # At t=30 both fire; b's resumption was scheduled earlier (at t=15) so
+    # FIFO tie-breaking runs it first.
+    assert log == [
+        ("a", 10.0), ("b", 15.0), ("a", 20.0), ("b", 30.0), ("a", 30.0), ("b", 45.0),
+    ]
+
+
+def test_negative_delay_rejected(engine):
+    def proc():
+        yield -1.0
+
+    spawn(engine, proc())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_bad_yield_type_rejected(engine):
+    def proc():
+        yield "soon"
+
+    spawn(engine, proc())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_interrupt_stops_process(engine):
+    ticks = []
+
+    def proc():
+        while True:
+            yield 10.0
+            ticks.append(engine.now)
+
+    handle = spawn(engine, proc())
+    engine.run(until=35.0)
+    handle.interrupt()
+    engine.run()
+    assert ticks == [10.0, 20.0, 30.0]
+    assert handle.done
+
+
+def test_process_exception_propagates(engine):
+    def proc():
+        yield 1.0
+        raise ValueError("boom")
+
+    handle = spawn(engine, proc())
+    with pytest.raises(ValueError):
+        engine.run()
+    assert handle.done
+    assert isinstance(handle.failed, ValueError)
+
+
+def test_periodic_maintenance_use_case(engine):
+    """The documented pattern: periodic work interleaved with other events."""
+    probes = []
+
+    def maintenance():
+        while engine.now < 50.0:
+            yield 10.0
+            probes.append(engine.now)
+
+    spawn(engine, maintenance())
+    engine.run()
+    assert probes == [10.0, 20.0, 30.0, 40.0, 50.0]

@@ -1,0 +1,71 @@
+"""Unit tests for seeded-RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import choice_without, make_rng, sample_unique, spawn
+
+
+def test_make_rng_from_seed_reproducible():
+    a = make_rng(7).integers(0, 1000, 10)
+    b = make_rng(7).integers(0, 1000, 10)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_passthrough():
+    gen = np.random.default_rng(1)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_children_independent():
+    parent = make_rng(3)
+    a, b = spawn(parent, 2)
+    assert not np.array_equal(a.integers(0, 10**9, 20), b.integers(0, 10**9, 20))
+
+
+def test_spawn_count():
+    assert len(spawn(make_rng(0), 5)) == 5
+    assert spawn(make_rng(0), 0) == []
+
+
+def test_spawn_negative_rejected():
+    with pytest.raises(ValueError):
+        spawn(make_rng(0), -1)
+
+
+def test_choice_without_never_returns_excluded():
+    rng = make_rng(11)
+    for _ in range(500):
+        assert choice_without(rng, 5, 2) != 2
+
+
+def test_choice_without_covers_all_other_values():
+    rng = make_rng(12)
+    seen = {choice_without(rng, 4, 0) for _ in range(200)}
+    assert seen == {1, 2, 3}
+
+
+def test_choice_without_needs_two():
+    with pytest.raises(ValueError):
+        choice_without(make_rng(0), 1, 0)
+
+
+def test_sample_unique_distinct():
+    rng = make_rng(13)
+    out = sample_unique(rng, list(range(50)), 10)
+    assert len(out) == 10
+    assert len(set(out)) == 10
+
+
+def test_sample_unique_oversample_returns_all():
+    rng = make_rng(14)
+    out = sample_unique(rng, [1, 2, 3], 10)
+    assert sorted(out) == [1, 2, 3]
+
+
+def test_sample_unique_zero():
+    assert sample_unique(make_rng(0), [1, 2], 0) == []

@@ -1,0 +1,91 @@
+"""Unit tests for simulation tracing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.trace import Tracer, tap_network
+
+
+class TestTracer:
+    def test_record_and_read(self):
+        tracer = Tracer()
+        tracer.record(1.5, "send", src=0, dst=1)
+        tracer.record(2.5, "recv", dst=1)
+        assert len(tracer) == 2
+        assert tracer.entries()[0].get("src") == 0
+        assert tracer.entries("recv")[0].time == 2.5
+
+    def test_category_filter(self):
+        tracer = Tracer(categories={"keep"})
+        tracer.record(1.0, "keep")
+        tracer.record(2.0, "drop")
+        assert len(tracer) == 1
+        assert tracer.dropped_by_filter == 1
+
+    def test_bounded_buffer_keeps_recent(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.record(float(i), "tick", i=i)
+        assert len(tracer) == 3
+        assert [e.get("i") for e in tracer.entries()] == [7, 8, 9]
+        assert tracer.recorded == 10
+
+    def test_between(self):
+        tracer = Tracer()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            tracer.record(t, "x")
+        assert [e.time for e in tracer.between(2.0, 4.0)] == [2.0, 3.0]
+
+    def test_render_timeline(self):
+        tracer = Tracer()
+        tracer.record(12.345, "trust_query", src=3, dst=9)
+        text = tracer.render()
+        assert "trust_query" in text
+        assert "src=3" in text
+
+    def test_entry_get_default(self):
+        tracer = Tracer()
+        tracer.record(1.0, "x", a=1)
+        assert tracer.entries()[0].get("missing", "fallback") == "fallback"
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(1.0, "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            Tracer(capacity=0)
+
+
+class TestNetworkTap:
+    def test_traces_datagrams(self):
+        from repro.net.latency import ConstantLatency
+        from repro.net.network import P2PNetwork
+        from repro.net.topology import ring_lattice
+
+        net = P2PNetwork(
+            ring_lattice(6, k=1),
+            np.random.default_rng(0),
+            latency_model=ConstantLatency(5.0),
+            model_transmission=False,
+        )
+        tracer = tap_network(Tracer(), net)
+        net.send(0, 3, "hello", category="trust_query")
+        net.send(1, 2, "x", category="control")
+        net.run()
+        assert len(tracer) == 2
+        entry = tracer.entries("trust_query")[0]
+        assert entry.get("src") == 0
+        assert entry.get("dst") == 3
+        assert entry.get("bytes") > 0
+
+    def test_traces_full_transaction(self, small_system):
+        tracer = tap_network(Tracer(), small_system.network)
+        small_system.run_transaction(requestor=0)
+        categories = {e.category for e in tracer.entries()}
+        assert "trust_query" in categories
+        assert "trust_response" in categories
+        assert "transaction_report" in categories

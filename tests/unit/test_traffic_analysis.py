@@ -1,0 +1,73 @@
+"""Unit tests for the traffic-analysis adversary."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.traffic_analysis import (
+    TrafficObserver,
+    top_k_precision,
+    true_popular_agents,
+)
+from repro.core.config import HiRepConfig
+from repro.core.system import HiRepSystem
+from repro.net.messages import NetMessage
+
+
+class TestObserver:
+    def test_counts_src_and_dst(self):
+        obs = TrafficObserver()
+        obs(NetMessage(src=1, dst=2, payload=None, category="x"))
+        obs(NetMessage(src=1, dst=3, payload=None, category="x"))
+        assert obs.sent[1] == 2
+        assert obs.received[2] == 1
+        assert obs.observed == 2
+
+    def test_category_filter(self):
+        obs = TrafficObserver(categories={"trust_query"})
+        obs(NetMessage(src=1, dst=2, payload=None, category="trust_query"))
+        obs(NetMessage(src=1, dst=2, payload=None, category="control"))
+        assert obs.observed == 1
+
+    def test_suspected_agents_ordered_by_volume(self):
+        obs = TrafficObserver()
+        for _ in range(5):
+            obs(NetMessage(src=0, dst=7, payload=None))
+        for _ in range(2):
+            obs(NetMessage(src=0, dst=3, payload=None))
+        assert obs.suspected_agents(2) == [7, 3]
+
+    def test_attach_hooks_network(self):
+        cfg = HiRepConfig(
+            network_size=50, trusted_agents=8, refill_threshold=5,
+            agents_queried=3, tokens=5, onion_relays=1, seed=3,
+        )
+        system = HiRepSystem(cfg)
+        system.bootstrap()
+        obs = TrafficObserver().attach(system)
+        system.run(3, requestor=0)
+        assert obs.observed > 0
+
+
+class TestPrecision:
+    def test_full_overlap(self):
+        assert top_k_precision([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_partial(self):
+        assert top_k_precision([1, 2], [2, 3]) == 0.5
+
+    def test_empty_actual_nan(self):
+        import math
+
+        assert math.isnan(top_k_precision([1], []))
+
+
+def test_true_popular_agents_ranked():
+    cfg = HiRepConfig(
+        network_size=60, trusted_agents=8, refill_threshold=5,
+        agents_queried=3, tokens=5, onion_relays=1, seed=4,
+    )
+    system = HiRepSystem(cfg)
+    system.bootstrap()
+    popular = true_popular_agents(system, 5)
+    assert len(popular) <= 5
+    assert all(ip in system.agents for ip in popular)
