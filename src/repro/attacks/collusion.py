@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.baselines.voting import PureVotingSystem
 from repro.core.config import HiRepConfig

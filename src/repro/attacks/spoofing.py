@@ -18,7 +18,6 @@ from repro.core.agent import ReputationAgent
 from repro.core.messages import SignedResult, TransactionReport
 from repro.core.system import HiRepSystem
 from repro.crypto.hashing import NodeID
-from repro.crypto.keys import PeerKeys
 
 __all__ = ["SpoofingReport", "forge_report", "mount_spoofing_attack"]
 

@@ -92,11 +92,10 @@ class SybilOperator:
         self.system.discovery_list_hook = hook
 
         # Multiplex sybil agents behind the host's endpoint.
-        by_sp = {keys.sp.to_bytes(): agent for keys, agent in zip(self.identities, self.agents)}
         original = self.system._make_endpoint(self.host_ip)
         from repro.core.messages import TrustValueRequest
         from repro.net.messages import Category
-        from repro.errors import CryptoError, ProtocolError
+        from repro.errors import ProtocolError
 
         def endpoint(message, sent_at: float) -> None:
             if isinstance(message, TrustValueRequest):

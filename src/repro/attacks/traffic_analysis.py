@@ -18,7 +18,6 @@ the relays absorb and randomize the signal.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
 
 from repro.core.system import HiRepSystem
 from repro.net.messages import NetMessage

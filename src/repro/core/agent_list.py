@@ -36,6 +36,9 @@ class TrustedAgent:
 
     entry: AgentListEntry
     expertise: ExpertiseTracker
+    #: Consecutive trust queries this agent failed to answer in time
+    #: (reset on every accepted response; see HiRepConfig.agent_miss_limit).
+    misses: int = 0
 
     @property
     def node_id(self) -> NodeID:
@@ -150,6 +153,20 @@ class TrustedAgentList:
             self.evictions += 1
         return victims
 
+    def record_miss(self, node_id: NodeID) -> int | None:
+        """One more consecutive unanswered query; returns the new count."""
+        agent = self._agents.get(node_id)
+        if agent is None:
+            return None
+        agent.misses += 1
+        return agent.misses
+
+    def record_answer(self, node_id: NodeID) -> None:
+        """The agent answered: its consecutive-miss streak resets."""
+        agent = self._agents.get(node_id)
+        if agent is not None:
+            agent.misses = 0
+
     def park_offline(self, node_id: NodeID) -> bool:
         """§3.4.3: offline agent with positive accuracy → backup cache.
 
@@ -176,6 +193,7 @@ class TrustedAgentList:
             if agent is not None:
                 self._backup[node_id] = agent  # put it back, list is full
             return False
+        agent.misses = 0  # clean slate: it just proved it is back
         self._agents[node_id] = agent
         self.backups_restored += 1
         return True

@@ -8,7 +8,7 @@ so experiments can declare exactly which knob they sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 from typing import Any
 
 from repro.errors import ConfigError
@@ -88,6 +88,26 @@ class HiRepConfig:
     ``"all"`` (§3.6's literal "all of its trusted agents" — the full list,
     costing an extra (|list|-c)·(o+1) messages per transaction)."""
 
+    # --- timeout / retry / backoff (robustness extension) --------------------
+    query_timeout_ms: float | None = None
+    """Deadline for one trust-query attempt.  ``None`` (default) disables
+    the whole timeout/retry plane and reproduces the paper runs bit for
+    bit; set it (e.g. 3000.0) to notice unanswered agents and retry."""
+
+    max_query_retries: int = 2
+    """Retry rounds for agents that miss a query deadline (0 = give up
+    after the first timeout).  Only active when ``query_timeout_ms`` is
+    set."""
+
+    retry_backoff_factor: float = 2.0
+    """Exponential backoff: attempt *k* waits
+    ``query_timeout_ms * factor**k`` before declaring the round lost."""
+
+    agent_miss_limit: int = 3
+    """Park an agent in the backup cache after this many *consecutive*
+    queries it failed to answer (0 = never park on misses).  Only active
+    when ``query_timeout_ms`` is set."""
+
     # --- engineering knobs ---------------------------------------------------
     crypto_backend: str = "simulated"
     """'simulated' for sweeps, 'rsa' for full-crypto runs."""
@@ -139,6 +159,22 @@ class HiRepConfig:
         if not 0.0 <= self.untrusted_peer_fraction <= 1.0:
             raise ConfigError(
                 f"untrusted_peer_fraction must be in [0,1], got {self.untrusted_peer_fraction}"
+            )
+        if self.query_timeout_ms is not None and self.query_timeout_ms <= 0:
+            raise ConfigError(
+                f"query_timeout_ms must be > 0 (or None), got {self.query_timeout_ms}"
+            )
+        if self.max_query_retries < 0:
+            raise ConfigError(
+                f"max_query_retries must be >= 0, got {self.max_query_retries}"
+            )
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigError(
+                f"retry_backoff_factor must be >= 1, got {self.retry_backoff_factor}"
+            )
+        if self.agent_miss_limit < 0:
+            raise ConfigError(
+                f"agent_miss_limit must be >= 0, got {self.agent_miss_limit}"
             )
         if self.crypto_backend not in ("simulated", "rsa"):
             raise ConfigError(f"unknown crypto_backend {self.crypto_backend!r}")

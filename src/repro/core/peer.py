@@ -57,17 +57,29 @@ class QueryResult:
     response_time_ms: float
     answered: int
     asked: int
+    retries: int = 0
+    timed_out: bool = False
 
 
 @dataclass
 class PendingQuery:
-    """In-flight query bookkeeping."""
+    """In-flight query bookkeeping.
+
+    ``nonce_to_agent`` may hold several nonces per agent once retries are
+    in play (the original request might be merely slow, not lost); the
+    first response from an agent wins and invalidates its other nonces.
+    """
 
     subject: NodeID
     started_at: float
     nonce_to_agent: dict[int, NodeID] = field(default_factory=dict)
     responses: list[tuple[NodeID, float]] = field(default_factory=list)
     last_arrival: float = float("nan")
+    relay_pool: list[int] = field(default_factory=list)
+    asked_agents: set[NodeID] = field(default_factory=set)
+    attempt: int = 0
+    retries_sent: int = 0
+    timed_out: bool = False
 
 
 class HiRepPeer:
@@ -111,6 +123,11 @@ class HiRepPeer:
         self._pending: PendingQuery | None = None
         self.queries_completed = 0
         self.probe_messages = 0
+        # Timeout/retry plane accounting (active when query_timeout_ms set).
+        self.retries_sent = 0
+        self.queries_timed_out = 0
+        self.unresponsive_parked = 0
+        self.circuits_rebuilt = 0
 
     @property
     def node_id(self) -> NodeID:
@@ -193,6 +210,12 @@ class HiRepPeer:
 
         Returns the consulted agents.  Raises
         :class:`~repro.errors.NoTrustedAgentsError` when the list is empty.
+
+        When ``config.query_timeout_ms`` is set, a DES deadline is armed:
+        agents that have not answered by then are retried with exponential
+        backoff (up to ``max_query_retries`` rounds), and agents that
+        exhaust every retry accrue a consecutive-miss strike (see
+        :meth:`_on_query_deadline`).
         """
         if self._pending is not None:
             raise ProtocolError(f"peer {self.ip} already has a query in flight")
@@ -202,24 +225,98 @@ class HiRepPeer:
         if not agents:
             raise NoTrustedAgentsError(f"peer {self.ip} has no trusted agents")
         own_onion = self.ensure_onion(relay_pool)
-        pending = PendingQuery(subject=subject, started_at=self.network.engine.now)
+        pending = PendingQuery(
+            subject=subject,
+            started_at=self.network.engine.now,
+            relay_pool=list(relay_pool),
+        )
         for agent in agents:
-            onion = agent.entry.agent_onion
-            if onion is None:
+            if agent.entry.agent_onion is None:
                 continue
-            nonce = self.nonces.issue()
-            pending.nonce_to_agent[nonce] = agent.node_id
-            body = TrustRequestBody(subject=subject, nonce=nonce)
-            request = TrustValueRequest(
-                sealed_body=self.backend.encrypt(agent.entry.agent_sp, body),
-                requestor_sp=self.keys.sp,
-                requestor_onion=own_onion,
-            )
-            self.router.send(
-                self.ip, onion, request, category=Category.TRUST_QUERY
-            )
+            self._send_request(pending, agent, own_onion)
         self._pending = pending
+        if self.config.query_timeout_ms is not None and pending.nonce_to_agent:
+            self._arm_deadline(pending)
         return agents
+
+    def _send_request(
+        self, pending: PendingQuery, agent: TrustedAgent, own_onion: Onion
+    ) -> None:
+        """Seal and send one trust-value request to ``agent``."""
+        nonce = self.nonces.issue()
+        pending.nonce_to_agent[nonce] = agent.node_id
+        pending.asked_agents.add(agent.node_id)
+        body = TrustRequestBody(subject=pending.subject, nonce=nonce)
+        request = TrustValueRequest(
+            sealed_body=self.backend.encrypt(agent.entry.agent_sp, body),
+            requestor_sp=self.keys.sp,
+            requestor_onion=own_onion,
+        )
+        self.router.send(
+            self.ip, agent.entry.agent_onion, request, category=Category.TRUST_QUERY
+        )
+
+    # -- timeout / retry / backoff (robustness extension) -----------------
+
+    def _arm_deadline(self, pending: PendingQuery) -> None:
+        """Schedule the deadline for ``pending``'s current attempt.
+
+        Attempt *k* waits ``query_timeout_ms * backoff_factor**k`` — the
+        timeout and the exponential backoff are one knob, so a retried
+        agent always gets strictly longer to answer than the round before.
+        """
+        delay = self.config.query_timeout_ms * (
+            self.config.retry_backoff_factor ** pending.attempt
+        )
+        self.network.engine.schedule_in(
+            delay,
+            lambda: self._on_query_deadline(pending),
+            label="query_deadline",
+        )
+
+    def _on_query_deadline(self, pending: PendingQuery) -> None:
+        """Deadline fired: retry the silent agents or strike them out."""
+        if self._pending is not pending:
+            return  # query already finished (stale deadline)
+        # Dedupe in nonce-issue order, NOT via a set: node ids are bytes,
+        # and set iteration order follows the per-process hash salt, which
+        # would leak PYTHONHASHSEED into retry order and break cross-run
+        # determinism.
+        unanswered = list(dict.fromkeys(pending.nonce_to_agent.values()))
+        if not unanswered:
+            return  # everyone made it in time
+        if pending.attempt >= self.config.max_query_retries:
+            # Out of retries: strike every silent agent; park the ones
+            # that have now missed agent_miss_limit queries in a row so
+            # they stop soaking up query slots (they keep their expertise
+            # in the backup cache and may be probed back later).
+            pending.timed_out = True
+            self.queries_timed_out += 1
+            limit = self.config.agent_miss_limit
+            for agent_id in unanswered:
+                misses = self.agent_list.record_miss(agent_id)
+                if misses is not None and limit > 0 and misses >= limit:
+                    if self.agent_list.park_offline(agent_id):
+                        self.unresponsive_parked += 1
+            return
+        if not self.network.is_online(self.ip):
+            return  # we crashed mid-query; nothing to retry from
+        # A dead relay in our own circuit silently eats every reply, so
+        # rebuild the circuit before spending retry traffic.
+        if self._relay_ips and not all(
+            self.network.is_online(r) for r in self._relay_ips
+        ):
+            self.circuits_rebuilt += 1
+        own_onion = self.ensure_onion(pending.relay_pool)
+        for agent_id in unanswered:
+            agent = self.agent_list.get(agent_id)
+            if agent is None or agent.entry.agent_onion is None:
+                continue  # evicted/parked since we asked; let it strike out
+            self._send_request(pending, agent, own_onion)
+            pending.retries_sent += 1
+            self.retries_sent += 1
+        pending.attempt += 1
+        self._arm_deadline(pending)
 
     def on_onion_message(self, message, sent_at: float) -> None:
         """Endpoint for everything that arrives through this peer's onion."""
@@ -241,9 +338,15 @@ class HiRepPeer:
         agent_id = pending.nonce_to_agent.pop(body.nonce, None)
         if agent_id is None:
             return  # unknown or already-answered nonce (replay/forgery)
+        # Retries may have issued several nonces to this agent; the first
+        # answer wins, the rest become dead nonces.
+        stale = [n for n, a in pending.nonce_to_agent.items() if a == agent_id]
+        for nonce in stale:
+            del pending.nonce_to_agent[nonce]
         agent = self.agent_list.get(agent_id)
         if agent is not None and response.agent_onion is not None:
             agent.refresh_onion(response.agent_onion)
+        self.agent_list.record_answer(agent_id)
         pending.responses.append((agent_id, float(body.trust_value)))
         pending.last_arrival = self.network.engine.now
 
@@ -264,7 +367,10 @@ class HiRepPeer:
         if pending is None:
             raise ProtocolError(f"peer {self.ip} has no query in flight")
         self._pending = None
-        asked = len(pending.nonce_to_agent) + len(pending.responses)
+        if pending.asked_agents:
+            asked = len(pending.asked_agents)
+        else:
+            asked = len(pending.nonce_to_agent) + len(pending.responses)
         num = 0.0
         den = 0.0
         for agent_id, value in pending.responses:
@@ -292,6 +398,8 @@ class HiRepPeer:
             response_time_ms=elapsed,
             answered=len(pending.responses),
             asked=asked,
+            retries=pending.retries_sent,
+            timed_out=pending.timed_out,
         )
 
     # ------------------------------------------------------------------

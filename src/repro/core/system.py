@@ -42,9 +42,9 @@ from repro.crypto.keys import PeerKeys
 from repro.crypto.nonce import NonceRegistry
 from repro.errors import NoTrustedAgentsError, ProtocolError, SimulationError
 from repro.net.churn import ChurnModel
+from repro.net.faults import FaultPlane
 from repro.net.latency import LatencyModel
 from repro.net.messages import Category
-from repro.net.network import P2PNetwork
 from repro.onion.handshake import HandshakeResponder
 from repro.onion.relay import RelayRegistry
 from repro.onion.routing import OnionRouter
@@ -89,6 +89,7 @@ class HiRepSystem:
         churn: ChurnModel | None = None,
         model_factory=None,
         topology=None,
+        faults: FaultPlane | None = None,
     ) -> None:
         """Build the network, keys, peers, agents, and wiring.
 
@@ -101,6 +102,11 @@ class HiRepSystem:
             Optional explicit :class:`~repro.net.topology.Topology` (e.g.
             a :class:`~repro.net.overlay.DynamicOverlay` snapshot) instead
             of a generated one; node count must match the config.
+        faults:
+            Optional :class:`~repro.net.faults.FaultPlane` installed on
+            the network before any traffic flows.  The plane draws from
+            its own seeded generator, so passing ``None`` reproduces the
+            reliable-network runs bit for bit.
         """
         self.config = config or HiRepConfig()
         cfg = self.config
@@ -114,6 +120,9 @@ class HiRepSystem:
         self.topology = self.world.topology
         self.network = self.world.network
         self.churn = churn
+        self.faults = faults
+        if faults is not None:
+            faults.install(self.network)
         self.router = OnionRouter(self.network, self.backend)
         self.relay_registry = RelayRegistry()
 
@@ -348,15 +357,29 @@ class HiRepSystem:
     def run_transaction(
         self, requestor: int | None = None, provider: int | None = None
     ) -> TransactionOutcome:
-        """Execute one full transaction cycle and record metrics."""
+        """Execute one full transaction cycle and record metrics.
+
+        An explicitly requested ``provider`` must exist and be online —
+        querying trust about a node that cannot serve the download is a
+        caller bug, so it raises :class:`~repro.errors.SimulationError`
+        instead of silently producing a meaningless estimate.
+        """
         if not self._bootstrapped:
             self.bootstrap()
         if self.churn is not None:
+            # Shield the requestor for this step only — a permanent
+            # protected-set entry would exempt every past requestor from
+            # churn for the rest of the run.
             protect = {requestor} if requestor is not None else set()
-            self.churn.protected |= {p for p in protect if p is not None}
-            self.churn.step(self.network, self._rng_workload)
+            self.churn.step(
+                self.network, self._rng_workload, extra_protected=protect
+            )
         req, prov = self.pick_pair(requestor)
         if provider is not None:
+            if not 0 <= provider < len(self.peers):
+                raise SimulationError(f"provider {provider} does not exist")
+            if not self.network.is_online(provider):
+                raise SimulationError(f"provider {provider} is offline")
             prov = provider
         peer = self.peers[req]
 
@@ -364,7 +387,6 @@ class HiRepSystem:
 
         trust_before = self._trust_traffic()
         total_before = self.counter.total
-        started = self.network.engine.now
         try:
             peer.start_query(self.truth_key(prov), self.relay_pool())
         except NoTrustedAgentsError:
@@ -462,6 +484,15 @@ class HiRepSystem:
         self.response_times.reset()
         self.outcomes.clear()
         self.transactions_run = 0
+
+    def retry_stats(self) -> dict[str, int]:
+        """Aggregate timeout/retry accounting across every peer."""
+        return {
+            "retries_sent": sum(p.retries_sent for p in self.peers),
+            "queries_timed_out": sum(p.queries_timed_out for p in self.peers),
+            "unresponsive_parked": sum(p.unresponsive_parked for p in self.peers),
+            "circuits_rebuilt": sum(p.circuits_rebuilt for p in self.peers),
+        }
 
     def good_agent_ips(self) -> list[int]:
         return [ip for ip, good in self.agent_quality.items() if good]

@@ -10,6 +10,7 @@ fig7            Fig. 7 (MSE vs attacker ratio)
 fig8            Fig. 8 (cumulative response time, voting vs hirep-10/7/5)
 traffic_bound   §4.1 analytic bound 2c(o_i+o_j) vs measurement
 robustness      §4.2 attack-resistance measurements (extension)
+degradation     loss-rate × crash-fraction graceful-degradation sweep (ext.)
 ablations       design-choice ablations (extension)
 ==============  =========================================================
 """
@@ -18,6 +19,7 @@ from repro.experiments import (
     ablations,
     baseline_comparison,
     churn_resilience,
+    degradation,
     fig5_traffic,
     fig6_accuracy,
     fig7_malicious,
@@ -35,6 +37,7 @@ __all__ = [
     "ablations",
     "baseline_comparison",
     "churn_resilience",
+    "degradation",
     "fig5_traffic",
     "fig6_accuracy",
     "fig7_malicious",

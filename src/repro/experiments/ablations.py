@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.attacks.models import install_recommendation_attack
 from repro.core.discovery import discover_agent_lists
 from repro.core.messages import AgentListEntry
 from repro.core.ranking import rank_within_list, select_agents

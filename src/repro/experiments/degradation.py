@@ -1,0 +1,24 @@
+"""Graceful-degradation sweep: message loss × node crashes (extension).
+
+Thin CLI wrapper around
+:func:`repro.experiments.robustness.run_degradation` so the runner can
+regenerate the degradation curves independently of the (slow) §4.2 attack
+suite.  See that function for the measured claims.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.robustness import run_degradation as run
+
+__all__ = ["run", "main"]
+
+
+def main() -> str:
+    result = run()
+    text = result.render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,6 @@ from __future__ import annotations
 from repro.core.system import HiRepSystem
 from repro.core.trust_models import (
     EWMAReportModel,
-    QualityDrivenModel,
     ReportAverageModel,
 )
 from repro.experiments.common import ExperimentResult, Series

@@ -20,6 +20,7 @@ from repro.experiments import (
     ablations,
     baseline_comparison,
     churn_resilience,
+    degradation,
     fig5_traffic,
     fig6_accuracy,
     fig7_malicious,
@@ -65,6 +66,11 @@ EXPERIMENTS = {
         robustness,
         {"network_size": 200},
         {"network_size": 250},
+    ),
+    "degradation": (
+        degradation,
+        {"network_size": 120, "transactions": 40},
+        {"network_size": 250, "transactions": 120},
     ),
     "ablations": (
         ablations,

@@ -1,6 +1,18 @@
 """Unstructured P2P network substrate."""
 
 from repro.net.churn import ChurnModel, ChurnStats
+from repro.net.faults import (
+    Bisection,
+    CrashSchedule,
+    CrashWindow,
+    FaultModel,
+    FaultPlane,
+    FaultStats,
+    FaultVerdict,
+    LatencySpike,
+    LinkLoss,
+    MessageLoss,
+)
 from repro.net.flooding import FloodResult, flood_async, flood_bfs
 from repro.net.latency import (
     ConstantLatency,
@@ -32,6 +44,16 @@ __all__ = [
     "DynamicOverlay",
     "ChurnModel",
     "ChurnStats",
+    "Bisection",
+    "CrashSchedule",
+    "CrashWindow",
+    "FaultModel",
+    "FaultPlane",
+    "FaultStats",
+    "FaultVerdict",
+    "LatencySpike",
+    "LinkLoss",
+    "MessageLoss",
     "FloodResult",
     "flood_async",
     "flood_bfs",

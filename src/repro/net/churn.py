@@ -12,6 +12,7 @@ stationary online fraction is ``rejoin / (leave + rejoin)``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -57,14 +58,25 @@ class ChurnModel:
         self.protected = protected or set()
         self.stats = ChurnStats()
 
-    def step(self, network: P2PNetwork, rng: np.random.Generator) -> None:
-        """Apply one churn round to every unprotected node."""
+    def step(
+        self,
+        network: P2PNetwork,
+        rng: np.random.Generator,
+        extra_protected: Iterable[int] = (),
+    ) -> None:
+        """Apply one churn round to every unprotected node.
+
+        ``extra_protected`` shields additional nodes for *this step only*
+        (e.g. the requestor of the transaction about to run) without
+        growing the permanent :attr:`protected` set.
+        """
         if self.leave_prob == 0 and self.rejoin_prob == 0:
             return
+        extra = set(extra_protected)
         draws = rng.random(network.n)
         for node in network.nodes:
             idx = node.node_index
-            if idx in self.protected:
+            if idx in self.protected or idx in extra:
                 continue
             if node.online:
                 if draws[idx] < self.leave_prob:

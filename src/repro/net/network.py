@@ -20,6 +20,12 @@ is the congestion effect hiREP's O(C) design avoids.  Set
 
 Messages to offline nodes are counted (the sender spent the traffic) but
 silently dropped, matching how UDP-style P2P deployments behave.
+
+An optional :class:`~repro.net.faults.FaultPlane` (``network.faults``)
+intercepts every send: injected drops still pay the counter (the sender
+spent the bandwidth) but never schedule a delivery, and injected latency
+spikes are added before the FIFO serialization step.  With no plane
+installed the send path is byte-for-byte the reliable one.
 """
 
 from __future__ import annotations
@@ -65,6 +71,9 @@ class P2PNetwork:
         self.latency = LatencyMap(latency_model or UniformLatency(), rng)
         self.counter = MessageCounter()
         self.model_transmission = model_transmission
+        #: Optional fault-injection plane (see repro.net.faults); installed
+        #: via FaultPlane.install(network).  None = perfectly reliable.
+        self.faults = None
         self._link_free_at: dict[int, float] = {}
         #: Passive wiretaps: called with every NetMessage at send time.
         #: Used by the §4.2.4 traffic-analysis adversary — observers see
@@ -150,7 +159,14 @@ class P2PNetwork:
             self.counter.count(category)
         for observer in self.observers:
             observer(msg)
-        arrival = self.engine.now + self.latency.between(src, dst)
+        extra_latency = 0.0
+        if self.faults is not None:
+            verdict = self.faults.on_send(msg, self.engine.now)
+            if verdict.drop:
+                # Injected loss: cost charged above, no delivery scheduled.
+                return msg
+            extra_latency = verdict.extra_latency_ms
+        arrival = self.engine.now + self.latency.between(src, dst) + extra_latency
         if self.model_transmission:
             transmit = self.transmission_ms(dst_node.bandwidth_kbps, msg.size_bytes)
             start = max(arrival, self._link_free_at.get(dst, 0.0))

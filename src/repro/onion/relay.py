@@ -9,7 +9,6 @@ paper is exercised on every onion build.
 from __future__ import annotations
 
 from repro.crypto.backend import CipherBackend, PublicKey
-from repro.crypto.nonce import NonceRegistry
 from repro.errors import UnknownNodeError
 from repro.net.network import P2PNetwork
 from repro.onion.handshake import (

@@ -13,7 +13,7 @@ Tracing is strictly opt-in and costs nothing when no tracer is attached.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.errors import ConfigError

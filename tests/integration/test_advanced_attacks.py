@@ -34,8 +34,6 @@ class TestOscillatingModel:
 
     def test_periodic_oscillation(self, rng):
         model = OscillatingModel(honest_evaluations=0, period=2)
-        faces = [model.currently_honest() or model.evaluate(b"x", 1.0, rng) >= 0.6
-                 for _ in range(0)]
         # Phase 0 (dishonest), phase 1 (honest), alternating every 2 evals.
         observed = []
         for _ in range(8):
@@ -76,8 +74,6 @@ class TestOscillationAttack:
 
     def test_flip_drops_expertise(self):
         cfg = CFG.with_(poor_agent_fraction=0.0)
-
-        turncoats = {}
 
         def factory(good, rng):
             model = OscillatingModel(honest_evaluations=5)

@@ -1,7 +1,6 @@
 """Integration: churn tolerance, baseline parity, and cross-system fairness."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.eigentrust import EigenTrustSystem
 from repro.baselines.trustme import TrustMeSystem

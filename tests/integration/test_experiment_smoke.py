@@ -31,7 +31,6 @@ def tiny_results():
 
 
 def test_all_scalars_finite_or_flagged(tiny_results):
-    import math
 
     for name, result in tiny_results.items():
         for key, value in result.scalars.items():

@@ -11,7 +11,6 @@ import pytest
 
 from repro.core.config import HiRepConfig
 from repro.core.system import HiRepSystem
-from repro.net.messages import Category
 
 
 def make_system(backend: str, **overrides) -> HiRepSystem:

@@ -1,6 +1,5 @@
 """Property-based tests for the Chord DHT."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

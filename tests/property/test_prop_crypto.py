@@ -1,7 +1,7 @@
 """Property-based tests for the cryptographic substrate."""
 
 import numpy as np
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto.backend import get_backend

@@ -17,7 +17,6 @@ ops = st.lists(
 @given(script=ops, seed=st.integers(0, 2**31))
 @settings(max_examples=60, deadline=None)
 def test_overlay_invariants_under_any_churn_script(script, seed):
-    rng = np.random.default_rng(seed)
     overlay = DynamicOverlay(target_degree=3, min_degree=2, max_degree=8, ping_ttl=2)
     overlay.seed(list(range(5)))
     next_id = 5

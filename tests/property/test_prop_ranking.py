@@ -86,7 +86,6 @@ def test_bad_mouthing_never_lowers_final_rank(raw, n, attackers, seed):
     """Adding any number of all-zero attacker lists never changes selection
     under the max merge — the §4.2.1 defence as an invariant."""
     entries = [entry(node, w) for node, w in raw]
-    unique = {e.agent_node_id: e for e in entries}
     honest_ranks = [rank_within_list(entries, n)]
     zero_list = {e.agent_node_id: 0 for e in entries}
     attacked_ranks = honest_ranks + [zero_list] * attackers

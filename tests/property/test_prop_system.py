@@ -5,7 +5,6 @@ configuration builds a working system — bootstrap succeeds, a transaction
 completes, metrics are sane — regardless of how the knobs combine.
 """
 
-import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

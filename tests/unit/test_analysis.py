@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
-    TrafficBreakdown,
     breakdown,
     compare_convergence,
     convergence_point,

@@ -1,6 +1,5 @@
 """Unit tests for baseline reputation systems."""
 
-import math
 
 import numpy as np
 import pytest
@@ -88,7 +87,7 @@ class TestTrustMe:
 
     def test_two_floods_per_transaction(self):
         tm = TrustMeSystem(CFG)
-        out = tm.run_transaction(requestor=0)
+        tm.run_transaction(requestor=0)
         assert tm.counter.by_category["flood_query"] > 0
         assert tm.counter.by_category["transaction_report"] > 0
 

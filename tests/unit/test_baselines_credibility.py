@@ -1,6 +1,5 @@
 """Unit tests for credibility-weighted voting."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.credibility import CredibilityVotingSystem

@@ -1,6 +1,5 @@
 """Unit tests for the reputation agent (§3.5)."""
 
-import numpy as np
 import pytest
 
 from repro.core.agent import ReputationAgent

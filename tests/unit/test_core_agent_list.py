@@ -7,7 +7,6 @@ from repro.core.agent_list import TrustedAgentList
 from repro.core.messages import AgentListEntry
 from repro.crypto.backend import PublicKey
 from repro.errors import ConfigError
-from repro.onion.onion import Onion
 
 
 def entry(node: int, weight: float = 1.0) -> AgentListEntry:

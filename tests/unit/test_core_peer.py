@@ -1,6 +1,5 @@
 """Unit tests for HiRepPeer behaviour inside a small live system."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import HiRepConfig
@@ -60,7 +59,6 @@ def test_query_collects_responses(system):
 
 def test_estimate_ignores_unproven_when_trained(system):
     """After training, an untrained poor agent's value has zero weight."""
-    peer = system.peers[0]
     for _ in range(10):
         system.run_transaction(requestor=0)
     # All queried agents now have track record; estimate should track truth.
@@ -158,6 +156,6 @@ def test_adopt_entries_skips_self(system):
     peer = system.peers[0]
     entry = system.self_entry_for(list(system.agents)[0])
     own = system.self_entry_for(peer.ip) if peer.ip in system.agents else None
-    added = peer.adopt_entries([e for e in [entry, own] if e is not None])
+    peer.adopt_entries([e for e in [entry, own] if e is not None])
     # Whatever happens, the peer never adds itself.
     assert peer.node_id not in peer.agent_list

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.config import HiRepConfig
 from repro.core.system import HiRepSystem
-from repro.errors import SimulationError
 from repro.net.churn import ChurnModel
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the wire-size model."""
 
-import numpy as np
 import pytest
 
 from repro.core.agent import ReputationAgent

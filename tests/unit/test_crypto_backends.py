@@ -1,6 +1,5 @@
 """Unit tests for both cipher backends (shared behavioural contract)."""
 
-import numpy as np
 import pytest
 
 from repro.crypto.backend import PublicKey, get_backend

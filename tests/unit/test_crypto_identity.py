@@ -1,6 +1,5 @@
 """Unit tests for nodeIDs, key containers and the nonce registry."""
 
-import numpy as np
 import pytest
 
 from repro.crypto.backend import PublicKey

@@ -1,6 +1,5 @@
 """Unit tests for the experiment result containers and rendering."""
 
-import math
 
 import pytest
 

@@ -1,8 +1,6 @@
 """Unit tests for the ASCII chart renderer."""
 
-import math
 
-import pytest
 
 from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.plotting import ascii_chart, render_result_chart

@@ -62,3 +62,46 @@ def test_stationary_fraction_approached(net):
 def test_expected_online_fraction_formula():
     assert ChurnModel(0.1, 0.3).expected_online_fraction() == pytest.approx(0.75)
     assert ChurnModel(0.0, 0.0).expected_online_fraction() == 1.0
+    assert ChurnModel(1.0, 0.0).expected_online_fraction() == 0.0
+    assert ChurnModel(0.2, 0.2).expected_online_fraction() == pytest.approx(0.5)
+
+
+def test_stats_count_every_transition(net):
+    churn = ChurnModel(leave_prob=1.0, rejoin_prob=1.0)
+    rng = np.random.default_rng(5)
+    churn.step(net, rng)  # 50 departures
+    churn.step(net, rng)  # 50 rejoins
+    churn.step(net, rng)  # 50 departures again
+    assert churn.stats.departures == 100
+    assert churn.stats.rejoins == 50
+
+
+def test_extra_protected_shields_for_one_step_only(net):
+    churn = ChurnModel(leave_prob=1.0, rejoin_prob=0.0, protected={7})
+    churn.step(net, np.random.default_rng(2), extra_protected={3})
+    assert sorted(net.online_nodes()) == [3, 7]
+    # The shield does not persist: the next step takes node 3 down too.
+    churn.step(net, np.random.default_rng(2))
+    assert net.online_nodes() == [7]
+    assert churn.protected == {7}  # permanent set untouched
+
+
+def test_messages_to_churned_node_charged_but_not_delivered(net):
+    """Datagram semantics survive churn: the sender pays, nobody receives."""
+    got = []
+    net.register_handler(9, lambda m: got.append(m))
+    churn = ChurnModel(leave_prob=1.0, rejoin_prob=0.0, protected={0})
+    churn.step(net, np.random.default_rng(2))  # node 9 churns offline
+    assert not net.is_online(9)
+    before = net.counter.total
+    net.send(0, 9, "into the void")
+    net.run()
+    assert net.counter.total == before + 1
+    assert got == []
+    # After rejoining, delivery works again and is charged the same way.
+    churn2 = ChurnModel(leave_prob=0.0, rejoin_prob=1.0)
+    churn2.step(net, np.random.default_rng(3))
+    net.send(0, 9, "hello again")
+    net.run()
+    assert net.counter.total == before + 2
+    assert len(got) == 1

@@ -75,7 +75,6 @@ def test_negative_ttl_rejected():
 
 
 def test_more_neighbors_more_messages():
-    rng = np.random.default_rng(0)
     topo2 = power_law_topology(300, 2, np.random.default_rng(1))
     topo4 = power_law_topology(300, 4, np.random.default_rng(1))
     m2 = np.mean([flood_bfs(topo2, i, 4).messages for i in range(0, 300, 10)])

@@ -37,7 +37,7 @@ def test_send_delivers_payload(net):
 
 
 def test_send_applies_latency(net):
-    box = collect(net, 5)
+    collect(net, 5)
     net.send(0, 5, "x")
     net.run()
     assert net.engine.now == 10.0

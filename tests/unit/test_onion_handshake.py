@@ -1,6 +1,5 @@
 """Unit tests for the Fig. 3 anonymity-key handshake."""
 
-import numpy as np
 import pytest
 
 from repro.crypto.keys import PeerKeys

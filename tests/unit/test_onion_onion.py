@@ -1,6 +1,5 @@
 """Unit tests for onion construction and peeling."""
 
-import numpy as np
 import pytest
 
 from repro.crypto.keys import PeerKeys
@@ -80,7 +79,7 @@ def test_seq_recorded(backend, chain):
 def test_tampered_blob_fails_peel(sim_backend, rng):
     owner = PeerKeys.generate(sim_backend, rng)
     relay = PeerKeys.generate(sim_backend, rng)
-    onion = build_onion(
+    build_onion(
         sim_backend, owner.ap, owner.sr, 0, [(1, relay.ap)], seq=1
     )
     with pytest.raises(OnionPeelError):

@@ -1,6 +1,5 @@
 """Unit tests for onion-routed delivery and the key store."""
 
-import numpy as np
 import pytest
 
 from repro.crypto.keys import PeerKeys

@@ -1,6 +1,5 @@
 """Unit tests for the report_scope config option (§3.6's 'all' wording)."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import HiRepConfig

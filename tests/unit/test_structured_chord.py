@@ -1,6 +1,5 @@
 """Unit tests for the Chord DHT substrate."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,7 +1,5 @@
 """Unit tests for the traffic-analysis adversary."""
 
-import numpy as np
-import pytest
 
 from repro.attacks.traffic_analysis import (
     TrafficObserver,
