@@ -1,0 +1,48 @@
+"""Bench: orchestrated sweep throughput, serial vs process pool.
+
+Times the same 6-job degradation sweep (3 loss rates x 2 crash
+fractions) through the scheduler at ``jobs=1`` and ``jobs=4`` and records
+the speedup, so the perf trajectory captures what the orchestrator buys
+on the current hardware.  On a single-core runner the speedup hovers
+around 1x — the number is recorded, not asserted.
+"""
+
+import time
+
+from repro.exec import SweepScheduler, plan_for
+from repro.experiments import degradation
+
+SWEEP = {
+    "network_size": 100,
+    "transactions": 20,
+    "loss_rates": (0.0, 0.1, 0.2),
+    "crash_fractions": (0.0, 0.15),
+}
+
+
+def test_bench_orchestrator(benchmark, run_once):
+    plan = plan_for("degradation", degradation, SWEEP)
+    assert len(plan.specs) == 6
+
+    serial_start = time.perf_counter()
+    serial_outcomes = SweepScheduler(jobs=1).run(plan.specs)
+    serial_s = time.perf_counter() - serial_start
+
+    pooled_outcomes = run_once(lambda: SweepScheduler(jobs=4).run(plan.specs))
+    pooled_s = benchmark.stats.stats.mean
+
+    assert all(o.ok for o in serial_outcomes)
+    assert all(o.ok for o in pooled_outcomes)
+    serial = plan.assemble([o.value() for o in serial_outcomes])
+    pooled = plan.assemble([o.value() for o in pooled_outcomes])
+    assert serial.series[0].y == pooled.series[0].y  # determinism guard
+
+    benchmark.extra_info["sweep_jobs"] = len(plan.specs)
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["jobs4_s"] = round(pooled_s, 3)
+    benchmark.extra_info["speedup"] = round(serial_s / pooled_s, 2)
+    print()
+    print(
+        f"6-job sweep: serial {serial_s:.2f}s, --jobs 4 {pooled_s:.2f}s "
+        f"({serial_s / pooled_s:.2f}x)"
+    )

@@ -16,7 +16,9 @@ Subpackages: :mod:`repro.core` (the hiREP protocol), :mod:`repro.net`
 :mod:`repro.crypto` (RSA / simulated backends), :mod:`repro.sim`
 (discrete-event engine and metrics), :mod:`repro.baselines` (pure voting,
 TrustMe, EigenTrust), :mod:`repro.attacks` (§4.2 attack models),
-:mod:`repro.workloads` and :mod:`repro.experiments` (per-figure harness).
+:mod:`repro.workloads` and :mod:`repro.experiments` (per-figure harness),
+:mod:`repro.exec` (parallel experiment orchestration: process-pool
+scheduler, content-addressed result cache, resumable run manifests).
 """
 
 from repro._version import __version__

@@ -1,0 +1,79 @@
+"""Content-addressed result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — one JSON payload per job key
+(see :func:`repro.exec.job.job_key`), fanned out over 256 shard
+directories so huge sweeps don't degenerate into one enormous listing.
+Writes are atomic (temp file + rename), so a sweep killed mid-write never
+leaves a truncated entry; unreadable entries read as misses and are
+overwritten on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.exec.job import canonical_json
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """On-disk map from job key to the job's JSON payload."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(canonical_json(payload))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("??/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

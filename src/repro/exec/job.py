@@ -1,0 +1,112 @@
+"""The job model: one experiment invocation as pure, hashable data.
+
+A :class:`JobSpec` names a module-level callable (``module``/``func``) and
+the keyword arguments to call it with.  Specs carry no live objects, so
+they pickle across process boundaries and serialize to JSON for the run
+manifest.  Two specs that would execute the same code with the same
+arguments hash to the same :func:`job_key`, which is what makes the result
+cache content-addressed: the key is SHA-256 over the canonical JSON
+encoding of the spec *plus* a fingerprint of the code it would run.
+
+Canonicalisation rules: keys sorted, minimal separators, tuples and lists
+indistinguishable (both encode as JSON arrays), floats via ``repr`` (the
+shortest round-trip form, stable across CPython ≥ 3.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import inspect
+import json
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+from repro._version import __version__
+
+__all__ = ["JobSpec", "canonical_json", "code_fingerprint", "job_key"]
+
+#: modules whose source is hashed into *every* job key, on top of the
+#: spec's own module — the shared result containers and the worker shim
+#: shape every payload, so changing them must invalidate the cache.
+_COMMON_CODE = ("repro.experiments.common", "repro.experiments.export")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding used for hashing and manifests."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment invocation: ``module.func(**kwargs)``.
+
+    ``label`` is display-only (progress lines, manifests) and is excluded
+    from the content hash, so relabelling a sweep never invalidates its
+    cached results.
+    """
+
+    module: str
+    kwargs: dict = field(default_factory=dict)
+    func: str = "run"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        # Fail at submission time, not in a worker three retries later.
+        try:
+            canonical_json(self.kwargs)
+        except (TypeError, ValueError) as exc:
+            raise TypeError(
+                f"job kwargs for {self.module}.{self.func} are not "
+                f"JSON-encodable: {exc}"
+            ) from exc
+
+    def identity(self) -> dict:
+        """The hashed portion of the spec (no label)."""
+        return {"module": self.module, "func": self.func, "kwargs": self.kwargs}
+
+    def to_dict(self) -> dict:
+        return {**self.identity(), "label": self.label}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        return cls(
+            module=d["module"],
+            func=d.get("func", "run"),
+            kwargs=dict(d.get("kwargs", {})),
+            label=d.get("label", ""),
+        )
+
+    def display(self) -> str:
+        return self.label or f"{self.module.rsplit('.', 1)[-1]}.{self.func}"
+
+
+@lru_cache(maxsize=None)
+def code_fingerprint(module_name: str) -> str:
+    """SHA-256 fingerprint of the code a job would execute.
+
+    Hashes the source of the job's own module plus the shared experiment
+    machinery (:data:`_COMMON_CODE`) and the package version.  Transitive
+    imports are deliberately *not* walked — a cheap, stable approximation;
+    bump the package version (or wipe the cache directory) after deep
+    refactors that change results without touching these files.
+    """
+    digest = hashlib.sha256()
+    digest.update(__version__.encode())
+    for name in (module_name, *_COMMON_CODE):
+        digest.update(b"\x00" + name.encode() + b"\x00")
+        try:
+            mod = importlib.import_module(name)
+            source_file = inspect.getsourcefile(mod)
+            if source_file:
+                digest.update(Path(source_file).read_bytes())
+        except (ImportError, OSError, TypeError):
+            digest.update(b"<unhashable>")
+    return digest.hexdigest()
+
+
+def job_key(spec: JobSpec) -> str:
+    """Content address of a job: hash of canonical spec + code version."""
+    payload = canonical_json(spec.identity()) + "\n" + code_fingerprint(spec.module)
+    return hashlib.sha256(payload.encode()).hexdigest()

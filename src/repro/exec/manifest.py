@@ -1,0 +1,104 @@
+"""The run manifest: a JSONL journal that makes sweeps resumable.
+
+Every orchestrated run appends one JSON object per line to its manifest:
+
+* ``run_start``   — the run configuration (experiments, scale, seed,
+  replicate, jobs, cache dir) so ``--resume <manifest>`` can reconstruct
+  the whole sweep with no other arguments;
+* ``submitted``   — one per job, in deterministic submission order, with
+  the full spec and its content key;
+* ``started``     — the job was handed to the executor (attempt number);
+* ``cache_hit``   — the job was satisfied from the result cache;
+* ``finished``    — the job ran to completion (wall-clock ``elapsed_s``,
+  worker ``rss_kb``, attempt count);
+* ``failed``      — one attempt died (error text, attempt number); a job
+  can fail then finish on a later attempt;
+* ``run_end``     — totals for the run.
+
+Each event carries a wall-clock ``ts`` (seconds since the epoch).  The
+file is append-only and flushed per event, so a sweep killed at any point
+leaves a readable journal; resuming re-submits the recorded sweep and the
+content-addressed cache turns every already-``finished`` job into a
+``cache_hit`` instead of a re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.exec.job import canonical_json
+
+__all__ = ["RunManifest"]
+
+#: events that mean "this job's result exists" (in the cache).
+_DONE_EVENTS = frozenset({"finished", "cache_hit"})
+
+
+class RunManifest:
+    """Append-only JSONL journal for one orchestrated run."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a")
+
+    def append(self, event: str, **fields) -> None:
+        record = {"event": event, "ts": round(time.time(), 3), **fields}
+        self._fh.write(canonical_json(record) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunManifest":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading ----------------------------------------------------------
+
+    @staticmethod
+    def load(path: str | Path) -> list[dict]:
+        """All events in file order; tolerates a truncated final line."""
+        events: list[dict] = []
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue  # torn tail write from a killed run
+        return events
+
+    @staticmethod
+    def run_config(events: list[dict]) -> dict | None:
+        """The recorded run configuration (first ``run_start``), if any."""
+        for event in events:
+            if event.get("event") == "run_start":
+                return {
+                    k: v for k, v in event.items() if k not in ("event", "ts")
+                }
+        return None
+
+    @staticmethod
+    def submitted_specs(events: list[dict]) -> list[dict]:
+        """Submitted job spec dicts, in submission order."""
+        return [
+            event["spec"]
+            for event in events
+            if event.get("event") == "submitted" and "spec" in event
+        ]
+
+    @staticmethod
+    def completed_keys(events: list[dict]) -> set[str]:
+        """Keys of jobs whose results were produced (ran or cache-hit)."""
+        return {
+            event["key"]
+            for event in events
+            if event.get("event") in _DONE_EVENTS and "key" in event
+        }

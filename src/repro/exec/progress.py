@@ -1,0 +1,98 @@
+"""Progress and telemetry surface for orchestrated runs.
+
+Two pieces:
+
+* :class:`ProgressReporter` — a live single-line counter
+  (``[7/12] degradation[crash=0.15,loss=0.2] ok 3.2s (2 cached)``)
+  rewritten in place on a TTY, one line per job otherwise (silent when
+  disabled, which is the default off-TTY so test output stays clean);
+* :func:`summary_table` / :func:`summary_line` — the end-of-run report:
+  per-job wall-clock, RSS and cache/attempt status, plus one grep-able
+  totals line (CI asserts on it).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.common import format_table
+
+__all__ = ["ProgressReporter", "summary_line", "summary_table"]
+
+
+class ProgressReporter:
+    """Live per-job counter; safe to point at any text stream."""
+
+    def __init__(self, stream=None, enabled: bool | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        isatty = getattr(self.stream, "isatty", lambda: False)
+        self.enabled = bool(isatty()) if enabled is None else enabled
+        self._tty = bool(isatty())
+        self._dirty = False
+        self.cached = 0
+
+    def update(self, outcome, done: int, total: int) -> None:
+        if outcome.cached:
+            self.cached += 1
+        if not self.enabled:
+            return
+        if outcome.cached:
+            status = "cached"
+        elif outcome.ok:
+            status = f"ok {outcome.elapsed_s:.1f}s"
+        else:
+            status = f"FAILED ({outcome.error})"
+        line = f"[{done}/{total}] {outcome.spec.display()} {status}"
+        if self.cached:
+            line += f" ({self.cached} cached)"
+        if self._tty:
+            self.stream.write("\r\x1b[2K" + line)
+            self._dirty = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self.enabled and self._tty and self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
+
+
+def summary_table(outcomes) -> str:
+    """Fixed-width per-job timing table for the end of a run."""
+    rows = []
+    for outcome in outcomes:
+        if outcome.cached:
+            status = "cached"
+        elif outcome.ok:
+            status = "ok"
+        else:
+            status = "FAILED"
+        rows.append(
+            (
+                outcome.spec.display(),
+                status,
+                outcome.attempts,
+                f"{outcome.elapsed_s:.2f}",
+                f"{outcome.rss_kb / 1024:.0f}" if outcome.rss_kb else "-",
+            )
+        )
+    return format_table(
+        ["job", "status", "attempts", "time_s", "rss_mb"],
+        rows,
+        title="job timings",
+    )
+
+
+def summary_line(outcomes, wall_s: float | None = None) -> str:
+    """One grep-able totals line, e.g.
+    ``jobs: 12 total | 9 run | 3 cached | 0 failed | wall 41.3s``."""
+    total = len(outcomes)
+    cached = sum(1 for o in outcomes if o.cached)
+    failed = sum(1 for o in outcomes if not o.ok)
+    ran = total - cached - failed
+    line = f"jobs: {total} total | {ran} run | {cached} cached | {failed} failed"
+    if wall_s is not None:
+        line += f" | wall {wall_s:.1f}s"
+    return line

@@ -1,0 +1,370 @@
+"""Serial / process-pool job scheduler with cache, retry and timeout.
+
+The scheduler takes a list of :class:`~repro.exec.job.JobSpec` and returns
+one :class:`JobOutcome` per spec **in submission order**, regardless of
+completion order — parallel sweeps stay deterministic for rendering,
+export and golden-file diffs.
+
+Execution model:
+
+* ``jobs=1`` (default) runs every job in-process, in order — the
+  bit-compatibility path: no pools, no pickling of results, identical
+  observable behaviour to the old serial for-loop.
+* ``jobs=N`` uses a :class:`~concurrent.futures.ProcessPoolExecutor` with
+  at most ``N`` futures in flight (submission is throttled so a submitted
+  job starts immediately; the per-job ``timeout_s`` clock therefore
+  approximates time-in-worker, not time-in-queue).
+* A job attempt that raises is retried up to ``retries`` more times.  A
+  worker that *dies* (``os._exit``, OOM-kill, segfault) breaks the whole
+  pool: the scheduler terminates it, rebuilds a fresh pool, and resubmits
+  the in-flight jobs.  The executor cannot identify which job killed the
+  worker, so the spent attempt is charged to whichever future surfaced
+  the break; every other in-flight job is refunded its attempt.
+* A job that exceeds ``timeout_s`` is handled the same way: the pool is
+  torn down (there is no portable way to cancel one running worker), the
+  overdue job is charged a failed attempt and everything else resumes on
+  a new pool.  ``timeout_s`` is not enforced in serial mode — nothing can
+  preempt the running job there.
+
+Every state transition is journalled to the optional
+:class:`~repro.exec.manifest.RunManifest`, and results are stored in the
+optional :class:`~repro.exec.cache.ResultCache`; jobs whose key is
+already cached are satisfied instantly without touching an executor.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.exec.cache import ResultCache
+from repro.exec.job import JobSpec, job_key
+from repro.exec.manifest import RunManifest
+from repro.exec.worker import decode_payload, execute_spec
+
+__all__ = ["JobFailure", "JobOutcome", "SweepScheduler"]
+
+#: polling granularity (s) for the timeout watchdog in pool mode.
+_POLL_S = 0.25
+
+
+class JobFailure(RuntimeError):
+    """Raised when reading the value of a job that ultimately failed."""
+
+    def __init__(self, outcome: "JobOutcome") -> None:
+        super().__init__(
+            f"job {outcome.spec.display()} failed after "
+            f"{outcome.attempts} attempt(s): {outcome.error}"
+        )
+        self.outcome = outcome
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one job."""
+
+    spec: JobSpec
+    key: str
+    payload: dict | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    rss_kb: int = 0
+    cached: bool = False
+    attempts: int = 0
+    index: int = field(default=0, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.payload is not None
+
+    def value(self):
+        """The decoded job result; raises :class:`JobFailure` if it failed."""
+        if not self.ok:
+            raise JobFailure(self)
+        return decode_payload(self.payload)
+
+
+class SweepScheduler:
+    """Run many jobs serially or across a process pool."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        manifest: RunManifest | None = None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        progress=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.cache = cache
+        self.manifest = manifest
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.progress = progress
+
+    # -- journal/progress helpers -----------------------------------------
+
+    def _journal(self, event: str, **fields) -> None:
+        if self.manifest is not None:
+            self.manifest.append(event, **fields)
+
+    def _finish(self, outcome: JobOutcome, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress.update(outcome, done, total)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, specs: list[JobSpec]) -> list[JobOutcome]:
+        """Execute ``specs``; outcomes come back in submission order."""
+        specs = list(specs)
+        keys = [job_key(spec) for spec in specs]
+        total = len(specs)
+        outcomes: list[JobOutcome | None] = [None] * total
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            self._journal("submitted", key=key, index=index, spec=spec.to_dict())
+
+        done = 0
+        pending: list[int] = []
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            payload = self.cache.get(key) if self.cache is not None else None
+            if payload is not None:
+                outcomes[index] = JobOutcome(
+                    spec=spec, key=key, payload=payload, cached=True, index=index
+                )
+                self._journal("cache_hit", key=key, index=index)
+                done += 1
+                self._finish(outcomes[index], done, total)
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(specs, keys, outcomes, pending, done, total)
+            else:
+                self._run_pool(specs, keys, outcomes, pending, done, total)
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    # -- serial path -------------------------------------------------------
+
+    def _record_success(
+        self, outcomes, specs, keys, index: int, envelope: dict, attempts: int
+    ) -> JobOutcome:
+        outcome = JobOutcome(
+            spec=specs[index],
+            key=keys[index],
+            payload=envelope["payload"],
+            elapsed_s=envelope["elapsed_s"],
+            rss_kb=envelope["rss_kb"],
+            attempts=attempts,
+            index=index,
+        )
+        outcomes[index] = outcome
+        if self.cache is not None:
+            self.cache.put(keys[index], envelope["payload"])
+        self._journal(
+            "finished",
+            key=keys[index],
+            index=index,
+            attempt=attempts,
+            elapsed_s=round(envelope["elapsed_s"], 6),
+            rss_kb=envelope["rss_kb"],
+        )
+        return outcome
+
+    def _record_failure(
+        self, outcomes, specs, keys, index: int, error: str, attempts: int
+    ) -> JobOutcome:
+        outcome = JobOutcome(
+            spec=specs[index],
+            key=keys[index],
+            error=error,
+            attempts=attempts,
+            index=index,
+        )
+        outcomes[index] = outcome
+        return outcome
+
+    def _run_serial(self, specs, keys, outcomes, pending, done, total) -> None:
+        for index in pending:
+            attempts = 0
+            while True:
+                attempts += 1
+                self._journal(
+                    "started", key=keys[index], index=index, attempt=attempts
+                )
+                try:
+                    envelope = execute_spec(specs[index].to_dict())
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    self._journal(
+                        "failed",
+                        key=keys[index],
+                        index=index,
+                        attempt=attempts,
+                        error=error,
+                    )
+                    if attempts > self.retries:
+                        outcome = self._record_failure(
+                            outcomes, specs, keys, index, error, attempts
+                        )
+                        break
+                else:
+                    outcome = self._record_success(
+                        outcomes, specs, keys, index, envelope, attempts
+                    )
+                    break
+            done += 1
+            self._finish(outcome, done, total)
+
+    # -- pool path ---------------------------------------------------------
+
+    def _run_pool(self, specs, keys, outcomes, pending, done, total) -> None:
+        queue: deque[int] = deque(pending)
+        attempts: dict[int, int] = {index: 0 for index in pending}
+        deadlines: dict[int, float] = {}
+        futures: dict = {}
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+        def submit_ready() -> None:
+            while queue and len(futures) < self.jobs:
+                index = queue.popleft()
+                attempts[index] += 1
+                self._journal(
+                    "started", key=keys[index], index=index, attempt=attempts[index]
+                )
+                future = pool.submit(execute_spec, specs[index].to_dict())
+                futures[future] = index
+                deadlines[index] = (
+                    time.monotonic() + self.timeout_s
+                    if self.timeout_s
+                    else math.inf
+                )
+
+        def charge_failure(index: int, error: str) -> None:
+            """One attempt is spent; requeue or finalise the job."""
+            nonlocal done
+            self._journal(
+                "failed",
+                key=keys[index],
+                index=index,
+                attempt=attempts[index],
+                error=error,
+            )
+            if attempts[index] > self.retries:
+                outcome = self._record_failure(
+                    outcomes, specs, keys, index, error, attempts[index]
+                )
+                done += 1
+                self._finish(outcome, done, total)
+            else:
+                queue.append(index)
+
+        def succeed(index: int, envelope: dict) -> None:
+            nonlocal done
+            outcome = self._record_success(
+                outcomes, specs, keys, index, envelope, attempts[index]
+            )
+            done += 1
+            self._finish(outcome, done, total)
+
+        def rebuild_pool(charged: dict[int, str]) -> None:
+            """Tear the pool down after a crash/timeout and resume.
+
+            ``charged`` maps job index -> error for jobs whose current
+            attempt is spent.  Every other in-flight job is requeued with
+            its attempt refunded; results that completed before the
+            teardown are kept.
+            """
+            nonlocal pool
+            _terminate(pool)
+            for future, index in list(futures.items()):
+                if index in charged:
+                    continue
+                envelope = None
+                if future.done() and not future.cancelled():
+                    try:
+                        envelope = future.result(timeout=0)
+                    except (CancelledError, Exception):
+                        envelope = None
+                if envelope is not None:
+                    succeed(index, envelope)
+                else:
+                    attempts[index] -= 1  # innocent bystander: free retry
+                    queue.appendleft(index)
+            futures.clear()
+            for index, error in charged.items():
+                charge_failure(index, error)
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+        try:
+            submit_ready()
+            while futures or queue:
+                if not futures:
+                    submit_ready()
+                    continue
+                ready, _ = wait(
+                    set(futures), timeout=_POLL_S, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                overdue = {
+                    index: (
+                        f"TimeoutError: exceeded --timeout {self.timeout_s:g}s"
+                    )
+                    for future, index in futures.items()
+                    if not future.done() and now >= deadlines[index]
+                }
+                if overdue:
+                    # Collect whatever finished first, then nuke the pool:
+                    # a running worker cannot be cancelled individually.
+                    for future in list(ready):
+                        index = futures.pop(future)
+                        try:
+                            succeed(index, future.result(timeout=0))
+                        except BrokenProcessPool:
+                            overdue.setdefault(index, "worker crashed")
+                            futures[future] = index
+                        except Exception as exc:
+                            charge_failure(index, f"{type(exc).__name__}: {exc}")
+                    rebuild_pool(overdue)
+                    submit_ready()
+                    continue
+                for future in ready:
+                    index = futures.pop(future)
+                    try:
+                        envelope = future.result(timeout=0)
+                    except BrokenProcessPool:
+                        # The whole pool is dead; every other in-flight
+                        # future dies with it — rebuild once for all.
+                        rebuild_pool({index: "worker crashed (process died)"})
+                        break
+                    except CancelledError:
+                        attempts[index] -= 1
+                        queue.appendleft(index)
+                    except Exception as exc:
+                        charge_failure(index, f"{type(exc).__name__}: {exc}")
+                    else:
+                        succeed(index, envelope)
+                submit_ready()
+        finally:
+            _terminate(pool)
+
+
+def _terminate(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down hard, killing any still-running workers."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):
+            pass

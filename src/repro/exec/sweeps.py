@@ -1,0 +1,70 @@
+"""The plan/assemble protocol: how experiments fan out into jobs.
+
+An experiment module may define::
+
+    def plan(**kwargs) -> SweepPlan
+
+returning the independent jobs its sweep decomposes into plus an
+``assemble`` callable that folds the per-job values back into the single
+:class:`~repro.experiments.common.ExperimentResult` the serial ``run()``
+would have produced.  Modules without a ``plan`` are scheduled as one
+job over their ``run()``.
+
+:func:`plan_for` resolves a registry entry either way, and
+:func:`replication_plan` fans one experiment's ``--replicate`` seeds out
+as sibling jobs whose results pool into a
+:class:`~repro.experiments.replication.Replication`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exec.job import JobSpec
+
+__all__ = ["SweepPlan", "plan_for", "replication_plan"]
+
+
+@dataclass
+class SweepPlan:
+    """Independent jobs + the fold that rebuilds the experiment result."""
+
+    specs: list[JobSpec]
+    assemble: Callable[[list[Any]], Any]
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("a sweep plan needs at least one job")
+
+
+def _single(values: list[Any]) -> Any:
+    return values[0]
+
+
+def plan_for(name: str, module, kwargs: dict) -> SweepPlan:
+    """The module's own ``plan(**kwargs)`` if it defines one, else one job."""
+    planner = getattr(module, "plan", None)
+    if planner is not None:
+        return planner(**kwargs)
+    spec = JobSpec(module=module.__name__, kwargs=dict(kwargs), label=name)
+    return SweepPlan(specs=[spec], assemble=_single)
+
+
+def replication_plan(name: str, module, seeds, kwargs: dict) -> SweepPlan:
+    """One job per seed; assembles into a ``Replication``."""
+    from repro.experiments.replication import Replication
+
+    seeds = [int(s) for s in seeds]
+    specs = [
+        JobSpec(
+            module=module.__name__,
+            kwargs={**kwargs, "seed": seed},
+            label=f"{name}[seed={seed}]",
+        )
+        for seed in seeds
+    ]
+    return SweepPlan(
+        specs=specs,
+        assemble=lambda results: Replication.from_results(results, seeds),
+    )

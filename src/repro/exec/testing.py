@@ -1,0 +1,45 @@
+"""Deliberately misbehaving jobs for exercising the scheduler.
+
+These live in the package (not the test tree) because worker processes
+resolve jobs by import path — they must be importable wherever the pool
+spawns workers.  A sentinel file carries "have I run before?" across
+process boundaries, which is what lets a job fail exactly once and then
+succeed on retry.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+__all__ = ["flaky", "crash_once", "sleepy"]
+
+
+def flaky(sentinel: str, value: float = 42.0) -> dict:
+    """Raise on the first call (per sentinel file), succeed after."""
+    path = Path(sentinel)
+    if not path.exists():
+        path.write_text("attempt 1 died here\n")
+        raise RuntimeError("flaky job: first attempt fails")
+    return {"value": value, "attempt": "retry"}
+
+
+def crash_once(sentinel: str, value: float = 7.0) -> dict:
+    """Kill the whole worker process on the first call, succeed after.
+
+    ``os._exit`` skips every finally/atexit handler — to a
+    ``ProcessPoolExecutor`` this is indistinguishable from a segfault or
+    an OOM kill, so it exercises the broken-pool rebuild path.
+    """
+    path = Path(sentinel)
+    if not path.exists():
+        path.write_text("worker hard-crashed here\n")
+        os._exit(13)
+    return {"value": value, "attempt": "after-crash"}
+
+
+def sleepy(seconds: float, value: float = 1.0) -> dict:
+    """Sleep, then return — fodder for the timeout watchdog."""
+    time.sleep(seconds)
+    return {"value": value, "slept_s": seconds}

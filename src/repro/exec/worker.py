@@ -1,0 +1,70 @@
+"""The picklable job entry point executed inside worker processes.
+
+:func:`execute_spec` takes a plain ``JobSpec.to_dict()`` dictionary (so
+nothing interesting crosses the pickle boundary), resolves the target
+callable by import path, runs it, and returns a JSON-able envelope::
+
+    {"payload": {"kind": ..., "value": ...},  # what the cache stores
+     "elapsed_s": 1.23,                       # wall-clock inside the worker
+     "rss_kb": 45678}                         # peak RSS of the worker so far
+
+Payload kinds:
+
+* ``experiment_result`` — an :class:`~repro.experiments.common.ExperimentResult`,
+  serialized via :func:`repro.experiments.export.result_to_dict`;
+* ``value`` — any JSON-encodable return (sweep cells return plain dicts).
+
+``rss_kb`` is ``ru_maxrss`` at job end: in a pooled worker that is the
+peak over every job the process has run so far, i.e. an upper bound per
+job, not an exact per-job figure.
+"""
+
+from __future__ import annotations
+
+import importlib
+import resource
+import sys
+import time
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.export import result_from_dict, result_to_dict
+
+__all__ = ["execute_spec", "encode_value", "decode_payload"]
+
+
+def encode_value(value) -> dict:
+    """Wrap a job return value in a typed, JSON-able payload."""
+    if isinstance(value, ExperimentResult):
+        return {"kind": "experiment_result", "value": result_to_dict(value, exact=True)}
+    return {"kind": "value", "value": value}
+
+
+def decode_payload(payload: dict):
+    """Invert :func:`encode_value` (cache replay takes this path too)."""
+    kind = payload.get("kind")
+    if kind == "experiment_result":
+        return result_from_dict(payload["value"])
+    if kind == "value":
+        return payload["value"]
+    raise ValueError(f"unknown payload kind: {kind!r}")
+
+
+def _max_rss_kb() -> int:
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return int(rss // 1024) if sys.platform == "darwin" else int(rss)
+
+
+def execute_spec(spec_dict: dict) -> dict:
+    """Run one job described by ``JobSpec.to_dict()``; worker-side."""
+    module = importlib.import_module(spec_dict["module"])
+    func = getattr(module, spec_dict.get("func", "run"))
+    kwargs = spec_dict.get("kwargs", {})
+    start = time.perf_counter()
+    value = func(**kwargs)
+    elapsed = time.perf_counter() - start
+    return {
+        "payload": encode_value(value),
+        "elapsed_s": elapsed,
+        "rss_kb": _max_rss_kb(),
+    }

@@ -26,7 +26,7 @@ from repro.experiments.common import ExperimentResult, Series
 from repro.net.churn import ChurnModel
 from repro.workloads.scenarios import default_config
 
-__all__ = ["run", "main"]
+__all__ = ["run", "plan", "ablation_job", "assemble_ablations", "ABLATIONS", "main"]
 
 
 def _cfg(network_size: int, seed: int, **kw):
@@ -200,35 +200,92 @@ def ablate_onion(network_size: int, seed: int) -> Series:
     return Series(name="trust_msgs_vs_onion_len", x=xs, y=ys)
 
 
-def run(network_size: int = 250, seed: int = 2006) -> ExperimentResult:
+#: ablation name -> measuring function, in the figure's display order.
+#: Each is independent (own systems, own seed-derived RNGs), which is
+#: what lets the orchestrator run them as sibling jobs.
+ABLATIONS = {
+    "tokens": ablate_tokens,
+    "ttl": ablate_ttl,
+    "alpha": ablate_alpha,
+    "theta": ablate_theta,
+    "merge": ablate_merge,
+    "backup": ablate_backup,
+    "onion": ablate_onion,
+}
+
+
+def ablation_job(kind: str, network_size: int = 250, seed: int = 2006) -> dict:
+    """Run one ablation and return a JSON-able ``{"series", "note"}``.
+
+    The picklable per-job entry point: worker processes call this by
+    import path, so the payload must survive a JSON round-trip.
+    """
+    measured = ABLATIONS[kind](network_size, seed)
+    note = None
+    if isinstance(measured, tuple):
+        measured, note = measured
+    return {
+        "series": {"name": measured.name, "x": list(map(float, measured.x)),
+                   "y": list(map(float, measured.y))},
+        "note": note,
+    }
+
+
+def assemble_ablations(values: list[dict]) -> ExperimentResult:
+    """Fold per-ablation payloads (in ``ABLATIONS`` order) into the figure."""
     result = ExperimentResult(
         experiment_id="ablations",
         title="Design-choice ablations",
         x_label="(per series)",
         y_label="(per series)",
     )
-    result.series.append(ablate_tokens(network_size, seed))
-    ttl_series = ablate_ttl(network_size, seed)
-    result.series.append(ttl_series)
-    result.note(
-        "discovery reach is non-decreasing in TTL — "
-        + ("HOLDS" if ttl_series.y == sorted(ttl_series.y) else "VIOLATED")
-    )
-    result.series.append(ablate_alpha(network_size, seed))
-    result.series.append(ablate_theta(network_size, seed))
-    merge_series, merge_note = ablate_merge(network_size, seed)
-    result.series.append(merge_series)
-    result.note(merge_note)
-    backup_series, backup_note = ablate_backup(network_size, seed)
-    result.series.append(backup_series)
-    result.note(backup_note)
-    result.series.append(ablate_onion(network_size, seed))
+    for value in values:
+        s = value["series"]
+        result.series.append(Series(name=s["name"], x=list(s["x"]), y=list(s["y"])))
+        if s["name"] == "discovery_replies_vs_ttl":
+            result.note(
+                "discovery reach is non-decreasing in TTL — "
+                + ("HOLDS" if s["y"] == sorted(s["y"]) else "VIOLATED")
+            )
+        if value["note"]:
+            result.note(value["note"])
     onion = result.get("trust_msgs_vs_onion_len")
     result.note(
         "trust traffic grows linearly with onion length — "
         + ("HOLDS" if onion.y == sorted(onion.y) else "VIOLATED")
     )
     return result
+
+
+def plan(network_size: int = 250, seed: int = 2006):
+    """One orchestrator job per ablation; assembles the serial result."""
+    from repro.exec.job import JobSpec
+    from repro.exec.sweeps import SweepPlan
+
+    specs = [
+        JobSpec(
+            module=__name__,
+            func="ablation_job",
+            kwargs={"kind": kind, "network_size": network_size, "seed": seed},
+            label=f"ablations[{kind}]",
+        )
+        for kind in ABLATIONS
+    ]
+    return SweepPlan(specs=specs, assemble=assemble_ablations)
+
+
+def run(network_size: int = 250, seed: int = 2006, executor=None) -> ExperimentResult:
+    if executor is None:
+        values = [
+            ablation_job(kind, network_size, seed) for kind in ABLATIONS
+        ]
+    else:
+        futures = [
+            executor.submit(ablation_job, kind, network_size, seed)
+            for kind in ABLATIONS
+        ]
+        values = [f.result() for f in futures]
+    return assemble_ablations(values)
 
 
 def main() -> str:

@@ -4,13 +4,59 @@ Thin CLI wrapper around
 :func:`repro.experiments.robustness.run_degradation` so the runner can
 regenerate the degradation curves independently of the (slow) §4.2 attack
 suite.  See that function for the measured claims.
+
+This module also defines the sweep's orchestration :func:`plan`: each
+loss × crash cell is an independent job
+(:func:`repro.experiments.robustness.degradation_cell`), so
+``hirep-experiments degradation --jobs N`` runs the grid across worker
+processes and reassembles the exact serial result.
 """
 
 from __future__ import annotations
 
-from repro.experiments.robustness import run_degradation as run
+from repro.experiments.robustness import (
+    assemble_degradation,
+    degradation_cells,
+    run_degradation as run,
+)
 
-__all__ = ["run", "main"]
+__all__ = ["run", "plan", "main"]
+
+
+def plan(
+    network_size: int = 120,
+    seed: int = 2006,
+    transactions: int = 40,
+    loss_rates: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3),
+    crash_fractions: tuple[float, ...] = (0.0, 0.15),
+):
+    """One orchestrator job per sweep cell; assembles the serial result."""
+    from repro.exec.job import JobSpec
+    from repro.exec.sweeps import SweepPlan
+
+    loss_rates = tuple(loss_rates)
+    crash_fractions = tuple(crash_fractions)
+    specs = [
+        JobSpec(
+            module="repro.experiments.robustness",
+            func="degradation_cell",
+            kwargs={
+                "network_size": network_size,
+                "seed": seed,
+                "transactions": transactions,
+                "loss": loss,
+                "crash_fraction": crash_fraction,
+            },
+            label=f"degradation[crash={crash_fraction:g},loss={loss:g}]",
+        )
+        for crash_fraction, loss in degradation_cells(loss_rates, crash_fractions)
+    ]
+    return SweepPlan(
+        specs=specs,
+        assemble=lambda values: assemble_degradation(
+            values, loss_rates=loss_rates, crash_fractions=crash_fractions
+        ),
+    )
 
 
 def main() -> str:

@@ -4,6 +4,14 @@
 result: series, scalars, notes) and ``fig5.csv`` (long format:
 ``series,x,y`` rows) so downstream plotting/analysis doesn't have to parse
 terminal output.
+
+The JSON encoding is deterministic — keys sorted, floats in ``repr``
+(shortest round-trip) form — so the same result always produces the same
+bytes: orchestrator cache keys and golden-file diffs stay stable across
+runs, processes and Python versions (float ``repr`` is fixed since
+CPython 3.1).  :func:`result_from_dict` inverts :func:`result_to_dict`,
+which is what lets the result cache replay an experiment without
+re-running it.
 """
 
 from __future__ import annotations
@@ -12,31 +20,70 @@ import csv
 import json
 from pathlib import Path
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, Series
 
-__all__ = ["result_to_dict", "write_json", "write_csv", "export_result"]
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "result_to_json",
+    "write_json",
+    "write_csv",
+    "export_result",
+]
 
 
-def result_to_dict(result: ExperimentResult) -> dict:
-    """A JSON-serializable view of a result."""
+def result_to_dict(result: ExperimentResult, *, exact: bool = False) -> dict:
+    """A JSON-serializable view of a result.
+
+    By default every numeric value is coerced to ``float``, matching the
+    exported JSON files.  ``exact=True`` keeps ints as ints — the worker
+    envelope uses it so a result that round-trips through the cache is
+    indistinguishable (including CSV formatting) from the in-memory one.
+    """
+    num = (lambda v: v) if exact else float
     return {
         "experiment_id": result.experiment_id,
         "title": result.title,
         "x_label": result.x_label,
         "y_label": result.y_label,
         "series": [
-            {"name": s.name, "x": list(map(float, s.x)), "y": list(map(float, s.y))}
+            {"name": s.name, "x": [num(v) for v in s.x], "y": [num(v) for v in s.y]}
             for s in result.series
         ],
-        "scalars": {k: float(v) for k, v in result.scalars.items()},
+        "scalars": {k: num(v) for k, v in result.scalars.items()},
         "notes": list(result.notes),
     }
+
+
+def result_from_dict(d: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict`.
+
+    Numeric types come back exactly as serialized (JSON keeps int/float
+    apart), so an ``exact=True`` dict reconstructs the original result.
+    """
+    return ExperimentResult(
+        experiment_id=d["experiment_id"],
+        title=d["title"],
+        x_label=d["x_label"],
+        y_label=d["y_label"],
+        series=[
+            Series(name=s["name"], x=list(s["x"]), y=list(s["y"]))
+            for s in d.get("series", [])
+        ],
+        scalars=dict(d.get("scalars", {})),
+        notes=list(d.get("notes", [])),
+    )
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    """The deterministic JSON text ``write_json`` persists."""
+    return json.dumps(result_to_dict(result), indent=2, sort_keys=True) + "\n"
 
 
 def write_json(result: ExperimentResult, path: Path) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+    path.write_text(result_to_json(result))
     return path
 
 

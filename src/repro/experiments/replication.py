@@ -45,6 +45,23 @@ class Replication:
             "ci_hi": hi,
         }
 
+    @classmethod
+    def from_results(
+        cls, results: list[ExperimentResult], seeds
+    ) -> "Replication":
+        """Pool already-computed per-seed results (seed order preserved)."""
+        seeds = [int(s) for s in seeds]
+        if not results:
+            raise ValueError("need at least one result")
+        replication = cls(
+            experiment_id=results[0].experiment_id, seeds=seeds
+        )
+        for result in results:
+            replication.results.append(result)
+            for key, value in result.scalars.items():
+                replication.samples.setdefault(key, []).append(float(value))
+        return replication
+
     def claim_always_holds(self, note_prefix: str) -> bool:
         """Whether a given claim note reported HOLDS in every replicate."""
         for result in self.results:
@@ -67,21 +84,25 @@ class Replication:
 def replicate(
     run: Callable[..., ExperimentResult],
     seeds,
+    executor=None,
     **kwargs,
 ) -> Replication:
-    """Run ``run(seed=s, **kwargs)`` for each seed and pool the scalars."""
+    """Run ``run(seed=s, **kwargs)`` for each seed and pool the scalars.
+
+    Seeds are independent, so an injected
+    :class:`concurrent.futures.Executor` fans them out across workers
+    (``run`` must then be picklable, e.g. a module-level function);
+    results are pooled in seed order either way, so the replication is
+    identical to the serial loop.  The CLI's ``--replicate --jobs N``
+    path instead submits seeds through the orchestrator
+    (:func:`repro.exec.sweeps.replication_plan`).
+    """
     seeds = [int(s) for s in seeds]
     if not seeds:
         raise ValueError("need at least one seed")
-    replication: Replication | None = None
-    for seed in seeds:
-        result = run(seed=seed, **kwargs)
-        if replication is None:
-            replication = Replication(
-                experiment_id=result.experiment_id, seeds=seeds
-            )
-        replication.results.append(result)
-        for key, value in result.scalars.items():
-            replication.samples.setdefault(key, []).append(float(value))
-    assert replication is not None
-    return replication
+    if executor is None:
+        results = [run(seed=seed, **kwargs) for seed in seeds]
+    else:
+        futures = [executor.submit(run, seed=seed, **kwargs) for seed in seeds]
+        results = [future.result() for future in futures]
+    return Replication.from_results(results, seeds)

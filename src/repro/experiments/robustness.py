@@ -35,7 +35,14 @@ from repro.experiments.common import ExperimentResult, Series
 from repro.net.faults import CrashWindow, CrashSchedule, FaultPlane, MessageLoss
 from repro.workloads.scenarios import default_config
 
-__all__ = ["run", "run_degradation", "main"]
+__all__ = [
+    "run",
+    "run_degradation",
+    "degradation_cell",
+    "degradation_cells",
+    "assemble_degradation",
+    "main",
+]
 
 
 def _small(network_size: int, seed: int):
@@ -165,65 +172,82 @@ def _crash_windows(
     ]
 
 
-def run_degradation(
+def degradation_cell(
     network_size: int = 120,
     seed: int = 2006,
     transactions: int = 40,
+    loss: float = 0.0,
+    crash_fraction: float = 0.0,
+) -> dict:
+    """One cell of the loss × crash sweep — pure and picklable.
+
+    Builds its whole world (config, fault plane, system) from scalar
+    arguments, so cells are independent jobs the orchestrator can fan out
+    across worker processes; the serial sweep calls the very same
+    function, which is what keeps ``--jobs N`` bit-identical to serial.
+    """
+    cfg = _small(network_size, seed).with_(
+        query_timeout_ms=2_000.0,
+        max_query_retries=2,
+        agent_miss_limit=3,
+    )
+    models = []
+    if loss > 0:
+        models.append(MessageLoss(loss))
+    windows = _crash_windows(network_size, crash_fraction, exclude={0})
+    if windows:
+        models.append(CrashSchedule(windows))
+    plane = FaultPlane(models, seed=seed + 17) if models else None
+    system = HiRepSystem(cfg, faults=plane)
+    system.bootstrap()
+    system.reset_metrics()
+    system.run(transactions, requestor=0)
+    return {
+        "mse": float(system.mse.tail_mse(max(transactions // 3, 10))),
+        "coverage": float(np.mean([o.answered > 0 for o in system.outcomes])),
+        "retries_per_tx": system.retry_stats()["retries_sent"] / transactions,
+        "fault_stats": plane.stats.as_dict() if plane is not None else None,
+    }
+
+
+def degradation_cells(
+    loss_rates: tuple[float, ...], crash_fractions: tuple[float, ...]
+) -> list[tuple[float, float]]:
+    """Sweep cells as ``(crash_fraction, loss)`` in canonical order."""
+    return [
+        (crash_fraction, loss)
+        for crash_fraction in crash_fractions
+        for loss in loss_rates
+    ]
+
+
+def assemble_degradation(
+    cell_values: list[dict],
+    *,
     loss_rates: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3),
     crash_fractions: tuple[float, ...] = (0.0, 0.15),
 ) -> ExperimentResult:
-    """Loss-rate × crash-fraction sweep: graceful degradation, measured.
-
-    Every cell runs the same seeded workload on a network with uniform
-    message loss and scheduled crash windows injected, with the
-    timeout/retry plane armed (2 s deadline, 2 retries, 3-miss parking).
-    Reported per crash fraction, as functions of the loss rate:
-
-    * ``mse`` — tail MSE of the trust estimates;
-    * ``coverage`` — fraction of transactions with ≥ 1 answer;
-    * ``retries_per_tx`` — retry traffic the deadline plane spent.
-    """
+    """Fold per-cell measurements (in :func:`degradation_cells` order)
+    back into the sweep's :class:`ExperimentResult`."""
     result = ExperimentResult(
         experiment_id="degradation",
         title="Graceful degradation under message loss and crashes",
         x_label="uniform message-loss probability",
         y_label="(per series)",
     )
-    cfg = _small(network_size, seed).with_(
-        query_timeout_ms=2_000.0,
-        max_query_retries=2,
-        agent_miss_limit=3,
-    )
     worst_stats: dict[str, float] = {}
+    grid = iter(cell_values)
     for crash_fraction in crash_fractions:
         mse_y: list[float] = []
         coverage_y: list[float] = []
         retries_y: list[float] = []
-        for loss in loss_rates:
-            models = []
-            if loss > 0:
-                models.append(MessageLoss(loss))
-            windows = _crash_windows(
-                network_size, crash_fraction, exclude={0}
-            )
-            if windows:
-                models.append(CrashSchedule(windows))
-            plane = (
-                FaultPlane(models, seed=seed + 17) if models else None
-            )
-            system = HiRepSystem(cfg, faults=plane)
-            system.bootstrap()
-            system.reset_metrics()
-            system.run(transactions, requestor=0)
-            mse_y.append(system.mse.tail_mse(max(transactions // 3, 10)))
-            coverage_y.append(
-                float(np.mean([o.answered > 0 for o in system.outcomes]))
-            )
-            retries_y.append(
-                system.retry_stats()["retries_sent"] / transactions
-            )
-            if plane is not None:
-                worst_stats = plane.stats.as_dict()
+        for _loss in loss_rates:
+            cell = next(grid)
+            mse_y.append(cell["mse"])
+            coverage_y.append(cell["coverage"])
+            retries_y.append(cell["retries_per_tx"])
+            if cell["fault_stats"] is not None:
+                worst_stats = cell["fault_stats"]
         tag = f"crash={crash_fraction:g}"
         result.series.append(Series(name=f"mse[{tag}]", x=list(loss_rates), y=mse_y))
         result.series.append(
@@ -255,6 +279,62 @@ def run_degradation(
         "retries, not silence) — " + ("HOLDS" if monotone else "MIXED")
     )
     return result
+
+
+def run_degradation(
+    network_size: int = 120,
+    seed: int = 2006,
+    transactions: int = 40,
+    loss_rates: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3),
+    crash_fractions: tuple[float, ...] = (0.0, 0.15),
+    executor=None,
+) -> ExperimentResult:
+    """Loss-rate × crash-fraction sweep: graceful degradation, measured.
+
+    Every cell runs the same seeded workload on a network with uniform
+    message loss and scheduled crash windows injected, with the
+    timeout/retry plane armed (2 s deadline, 2 retries, 3-miss parking).
+    Reported per crash fraction, as functions of the loss rate:
+
+    * ``mse`` — tail MSE of the trust estimates;
+    * ``coverage`` — fraction of transactions with ≥ 1 answer;
+    * ``retries_per_tx`` — retry traffic the deadline plane spent.
+
+    Cells are independent; pass a :class:`concurrent.futures.Executor`
+    to fan them out (results are order-stable either way).  The CLI's
+    ``--jobs N`` path instead submits the cells through the orchestrator
+    via :func:`repro.experiments.degradation.plan`.
+    """
+    cells = degradation_cells(tuple(loss_rates), tuple(crash_fractions))
+    if executor is None:
+        values = [
+            degradation_cell(
+                network_size=network_size,
+                seed=seed,
+                transactions=transactions,
+                loss=loss,
+                crash_fraction=crash_fraction,
+            )
+            for crash_fraction, loss in cells
+        ]
+    else:
+        futures = [
+            executor.submit(
+                degradation_cell,
+                network_size=network_size,
+                seed=seed,
+                transactions=transactions,
+                loss=loss,
+                crash_fraction=crash_fraction,
+            )
+            for crash_fraction, loss in cells
+        ]
+        values = [f.result() for f in futures]
+    return assemble_degradation(
+        values,
+        loss_rates=tuple(loss_rates),
+        crash_fractions=tuple(crash_fractions),
+    )
 
 
 def main() -> str:

@@ -4,18 +4,34 @@ Usage::
 
     hirep-experiments --list
     hirep-experiments fig5 fig6 --scale small
-    hirep-experiments all --scale paper
+    hirep-experiments all --scale paper --jobs 8
+    hirep-experiments --resume .hirep-cache/runs/run-<id>.jsonl
 
 ``--scale small`` (default) runs CI-sized networks in seconds; ``--scale
 paper`` uses the paper's 1000-peer configuration.
+
+Every invocation goes through the :mod:`repro.exec` orchestrator: each
+experiment — and each sweep cell / ``--replicate`` seed inside one —
+becomes an independent job.  ``--jobs N`` fans the jobs across a process
+pool (the default ``--jobs 1`` runs them serially, in-process, with
+bit-identical results); the content-addressed cache makes re-runs of
+unchanged jobs instant, and the JSONL run manifest makes an interrupted
+sweep resumable with ``--resume``.  See ``docs/orchestration.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 
+from repro.exec.cache import ResultCache
+from repro.exec.manifest import RunManifest
+from repro.exec.progress import ProgressReporter, summary_line, summary_table
+from repro.exec.scheduler import SweepScheduler
+from repro.exec.sweeps import SweepPlan, plan_for, replication_plan
 from repro.experiments import (
     ablations,
     baseline_comparison,
@@ -32,7 +48,7 @@ from repro.experiments import (
     traffic_bound,
 )
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "DEFAULT_CACHE_DIR", "DEFAULT_SEED"]
 
 #: experiment id -> (module, small-scale kwargs, paper-scale kwargs)
 EXPERIMENTS = {
@@ -99,21 +115,27 @@ EXPERIMENTS = {
     ),
 }
 
+#: seed of the archived runs; --seed overrides it.
+DEFAULT_SEED = 2006
 
-def main(argv: list[str] | None = None) -> int:
+#: where results are cached when caching is on but --cache-dir wasn't given.
+DEFAULT_CACHE_DIR = ".hirep-cache"
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "experiments",
         nargs="*",
-        default=["all"],
-        help="experiment ids (or 'all'); see --list",
+        default=[],
+        help="experiment ids (or 'all', the default); see --list",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--scale",
         choices=("small", "paper"),
-        default="small",
-        help="small = CI-sized, paper = the paper's parameters",
+        default=None,
+        help="small = CI-sized (default), paper = the paper's parameters",
     )
     parser.add_argument(
         "--plot",
@@ -130,7 +152,7 @@ def main(argv: list[str] | None = None) -> int:
         "--seed",
         type=int,
         default=None,
-        help="override the experiment seed (default: the archived runs' 2006)",
+        help=f"override the experiment seed (default: the archived runs' {DEFAULT_SEED})",
     )
     parser.add_argument(
         "--replicate",
@@ -139,57 +161,206 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="run each experiment over N seeds and print mean ± CI per scalar",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run up to N jobs in parallel worker processes "
+        "(default 1 = serial, bit-identical to the pre-orchestrator path)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache; unchanged jobs replay instantly "
+        f"(implied at {DEFAULT_CACHE_DIR!r} when --jobs > 1 or --resume)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even when --jobs/--resume imply it",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="write the JSONL run manifest here "
+        "(default: <cache-dir>/runs/run-<stamp>.jsonl when caching)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="re-run the sweep recorded in a manifest; finished jobs are "
+        "served from the cache instead of re-running",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=1,
+        help="retry a crashed/failed job up to N more times (default 1)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="S",
+        default=None,
+        help="per-job timeout in seconds (enforced when --jobs > 1)",
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print the per-job timing table at the end of the run",
+    )
+    return parser
+
+
+def _render_ablations(result) -> str:
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    for series in result.series:
+        pairs = ", ".join(f"{x:g}->{y:.4g}" for x, y in zip(series.x, series.y))
+        lines.append(f"  {series.name}: {pairs}")
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
 
     if args.list:
         for name in EXPERIMENTS:
             print(name)
         return 0
 
-    wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    # --resume restores the recorded run configuration; flags given
+    # explicitly on this invocation still win.
+    resumed: dict = {}
+    if args.resume:
+        try:
+            resumed = RunManifest.run_config(RunManifest.load(args.resume)) or {}
+        except OSError as exc:
+            print(f"cannot read manifest {args.resume}: {exc}", file=sys.stderr)
+            return 2
+    experiments = args.experiments or resumed.get("experiments") or ["all"]
+    scale = args.scale or resumed.get("scale") or "small"
+    seed = args.seed if args.seed is not None else resumed.get("seed")
+    replicate = (
+        args.replicate if args.replicate is not None else resumed.get("replicate")
+    )
+    jobs = args.jobs if args.jobs is not None else resumed.get("jobs") or 1
+    out_dir = args.out or resumed.get("out")
+    cache_dir = args.cache_dir or resumed.get("cache_dir")
+
+    wanted = list(EXPERIMENTS) if "all" in experiments else list(experiments)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    # Caching is implied whenever it pays (parallel runs, resume) or the
+    # user pointed at a directory; a bare serial run stays side-effect
+    # free on the filesystem.
+    if cache_dir is None and not args.no_cache and (jobs > 1 or args.resume):
+        cache_dir = DEFAULT_CACHE_DIR
+    cache = (
+        ResultCache(cache_dir) if cache_dir is not None and not args.no_cache else None
+    )
+
+    manifest_path = args.manifest
+    if manifest_path is None and cache is not None:
+        stamp = time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+        manifest_path = str(Path(cache.root) / "runs" / f"run-{stamp}.jsonl")
+    manifest = RunManifest(manifest_path) if manifest_path else None
+    if manifest is not None:
+        manifest.append(
+            "run_start",
+            experiments=wanted,
+            scale=scale,
+            seed=seed,
+            replicate=replicate,
+            jobs=jobs,
+            out=out_dir,
+            cache_dir=str(cache.root) if cache is not None else None,
+            resumed_from=args.resume,
+        )
+
+    # -- plan: every experiment becomes one or many jobs -------------------
+    plans: list[tuple[str, SweepPlan]] = []
     for name in wanted:
         module, small_kwargs, paper_kwargs = EXPERIMENTS[name]
-        kwargs = dict(small_kwargs if args.scale == "small" else paper_kwargs)
-        if args.seed is not None and name != "table1":
-            kwargs["seed"] = args.seed
-        if args.replicate and name != "table1":
-            from repro.experiments.replication import replicate
-
-            base_seed = args.seed if args.seed is not None else 2006
+        kwargs = dict(small_kwargs if scale == "small" else paper_kwargs)
+        if seed is not None and name != "table1":
+            kwargs["seed"] = seed
+        if replicate and name != "table1":
+            base_seed = seed if seed is not None else DEFAULT_SEED
             kwargs.pop("seed", None)
-            start = time.perf_counter()
-            rep = replicate(
-                module.run,
-                seeds=range(base_seed, base_seed + args.replicate),
-                **kwargs,
+            plan = replication_plan(
+                name, module, range(base_seed, base_seed + replicate), kwargs
             )
-            elapsed = time.perf_counter() - start
-            print(rep.render())
-            print(f"   [{name} x{args.replicate} in {elapsed:.1f}s at scale={args.scale}]\n")
+        else:
+            plan = plan_for(name, module, kwargs)
+        plans.append((name, plan))
+    all_specs = [spec for _, plan in plans for spec in plan.specs]
+
+    # -- execute -----------------------------------------------------------
+    progress = ProgressReporter()
+    scheduler = SweepScheduler(
+        jobs=jobs,
+        cache=cache,
+        manifest=manifest,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        progress=progress,
+    )
+    wall_start = time.perf_counter()
+    try:
+        outcomes = scheduler.run(all_specs)
+    except KeyboardInterrupt:
+        progress.close()
+        if manifest is not None:
+            manifest.append("run_end", interrupted=True)
+            manifest.close()
+            print(
+                f"\ninterrupted — resume with: hirep-experiments --resume {manifest_path}",
+                file=sys.stderr,
+            )
+        return 130
+    wall_s = time.perf_counter() - wall_start
+    progress.close()
+
+    # -- assemble + render, in submission order ----------------------------
+    status = 0
+    offset = 0
+    for name, plan in plans:
+        outs = outcomes[offset : offset + len(plan.specs)]
+        offset += len(plan.specs)
+        elapsed = sum(o.elapsed_s for o in outs)
+        failed = [o for o in outs if not o.ok]
+        if failed:
+            for o in failed:
+                print(
+                    f"   {o.spec.display()} FAILED after {o.attempts} "
+                    f"attempt(s): {o.error}",
+                    file=sys.stderr,
+                )
+            print(f"   [{name} FAILED at scale={scale}]\n", file=sys.stderr)
+            status = 1
             continue
-        start = time.perf_counter()
-        result = module.run(**kwargs)
-        elapsed = time.perf_counter() - start
+        assembled = plan.assemble([o.value() for o in outs])
+        if replicate and name != "table1":
+            print(assembled.render())
+            print(f"   [{name} x{replicate} in {elapsed:.1f}s at scale={scale}]\n")
+            continue
+        result = assembled
         if name == "table1":
-            module.main()
+            EXPERIMENTS[name][0].main()
         elif name == "baselines":
             print(baseline_comparison.render_result(result))
         elif name == "ablations":
-            module_text = []
-            for series in result.series:
-                pairs = ", ".join(
-                    f"{x:g}->{y:.4g}" for x, y in zip(series.x, series.y)
-                )
-                module_text.append(f"  {series.name}: {pairs}")
-            print(f"== {result.experiment_id}: {result.title} ==")
-            print("\n".join(module_text))
-            for note in result.notes:
-                print(f"  note: {note}")
+            print(_render_ablations(result))
         else:
             print(result.render())
             if args.plot and result.series:
@@ -197,13 +368,28 @@ def main(argv: list[str] | None = None) -> int:
 
                 logy = name in ("fig5", "fig8")  # order-of-magnitude gaps
                 print(render_result_chart(result, logy=logy))
-        if args.out:
+        if out_dir:
             from repro.experiments.export import export_result
 
-            for path in export_result(result, args.out):
+            for path in export_result(result, out_dir):
                 print(f"   wrote {path}")
-        print(f"   [{name} completed in {elapsed:.1f}s at scale={args.scale}]\n")
-    return 0
+        print(f"   [{name} completed in {elapsed:.1f}s at scale={scale}]\n")
+
+    # -- telemetry ---------------------------------------------------------
+    if args.timings:
+        print(summary_table(outcomes))
+    print(summary_line(outcomes, wall_s=wall_s))
+    if manifest is not None:
+        manifest.append(
+            "run_end",
+            total=len(outcomes),
+            cached=sum(1 for o in outcomes if o.cached),
+            failed=sum(1 for o in outcomes if not o.ok),
+            wall_s=round(wall_s, 3),
+        )
+        manifest.close()
+        print(f"manifest: {manifest_path}")
+    return status
 
 
 if __name__ == "__main__":

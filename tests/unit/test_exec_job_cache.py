@@ -1,0 +1,102 @@
+"""Unit tests for the orchestrator's job model and result cache."""
+
+import json
+
+import pytest
+
+from repro.exec import job as job_mod
+from repro.exec.cache import ResultCache
+from repro.exec.job import JobSpec, canonical_json, code_fingerprint, job_key
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_tuples_and_lists_encode_identically(self):
+        assert canonical_json({"x": (1, 2)}) == canonical_json({"x": [1, 2]})
+
+    def test_floats_round_trip(self):
+        text = canonical_json({"f": 0.1 + 0.2})
+        assert json.loads(text)["f"] == 0.1 + 0.2
+
+
+class TestJobSpec:
+    def test_rejects_unpicklable_kwargs_at_construction(self):
+        with pytest.raises(TypeError, match="JSON-encodable"):
+            JobSpec(module="m", kwargs={"fn": lambda: None})
+
+    def test_dict_round_trip(self):
+        spec = JobSpec(module="repro.experiments.fig5_traffic",
+                       kwargs={"network_size": 10}, label="fig5")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_display_prefers_label(self):
+        assert JobSpec(module="a.b.c", label="nice").display() == "nice"
+        assert JobSpec(module="a.b.c").display() == "c.run"
+
+
+class TestJobKey:
+    SPEC = JobSpec(module="repro.experiments.fig5_traffic",
+                   kwargs={"network_size": 10, "seed": 1})
+
+    def test_stable_across_kwarg_order(self):
+        other = JobSpec(module="repro.experiments.fig5_traffic",
+                        kwargs={"seed": 1, "network_size": 10})
+        assert job_key(self.SPEC) == job_key(other)
+
+    def test_label_is_not_part_of_the_key(self):
+        relabelled = JobSpec(module=self.SPEC.module, kwargs=dict(self.SPEC.kwargs),
+                             label="renamed")
+        assert job_key(relabelled) == job_key(self.SPEC)
+
+    def test_kwargs_change_the_key(self):
+        other = JobSpec(module=self.SPEC.module,
+                        kwargs={"network_size": 11, "seed": 1})
+        assert job_key(other) != job_key(self.SPEC)
+
+    def test_func_changes_the_key(self):
+        other = JobSpec(module=self.SPEC.module, func="main",
+                        kwargs=dict(self.SPEC.kwargs))
+        assert job_key(other) != job_key(self.SPEC)
+
+    def test_code_version_changes_the_key(self, monkeypatch):
+        before = job_key(self.SPEC)
+        monkeypatch.setattr(job_mod, "code_fingerprint", lambda name: "deadbeef")
+        assert job_key(self.SPEC) != before
+
+    def test_fingerprint_is_hex_and_cached(self):
+        fp = code_fingerprint("repro.experiments.fig5_traffic")
+        assert len(fp) == 64 and int(fp, 16) >= 0
+        assert code_fingerprint("repro.experiments.fig5_traffic") == fp
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        cache.put(key, {"kind": "value", "value": 42})
+        assert cache.get(key) == {"kind": "value", "value": 42}
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert key in cache and len(cache) == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        path = cache.put(key, {"kind": "value", "value": None})
+        assert path == tmp_path / "cd" / f"{key}.json"
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "2" * 62
+        cache.put(key, {"kind": "value", "value": 1})
+        cache.path_for(key).write_text("{truncated")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(f"{i:02d}" + "3" * 62, {"kind": "value", "value": i})
+        assert cache.clear() == 3
+        assert len(cache) == 0

@@ -8,7 +8,9 @@ import pytest
 from repro.experiments.common import ExperimentResult, Series
 from repro.experiments.export import (
     export_result,
+    result_from_dict,
     result_to_dict,
+    result_to_json,
     write_csv,
     write_json,
 )
@@ -54,6 +56,26 @@ class TestExport:
     def test_creates_directories(self, result, tmp_path):
         path = write_json(result, tmp_path / "deep" / "dir" / "x.json")
         assert path.exists()
+
+    def test_json_keys_are_sorted(self, result, tmp_path):
+        loaded = json.loads(write_json(result, tmp_path / "x.json").read_text())
+        assert list(loaded) == sorted(loaded)
+
+    def test_json_bytes_stable_across_scalar_insertion_order(self, result):
+        shuffled = ExperimentResult("figX", "Title", "transactions", "messages")
+        shuffled.series = list(result.series)
+        shuffled.notes = list(result.notes)
+        shuffled.scalars["zz_last"] = 1.0
+        shuffled.scalars["ratio"] = 0.5
+        result.scalars["zz_last"] = 1.0  # same content, different order
+        assert result_to_json(result) == result_to_json(shuffled)
+
+    def test_from_dict_round_trip(self, result):
+        clone = result_from_dict(result_to_dict(result))
+        assert result_to_json(clone) == result_to_json(result)
+        assert clone.get("a").y == [10.0, 20.0]
+        assert clone.notes == result.notes
+        assert clone.scalars == result.scalars
 
 
 class TestRunnerCLI:
