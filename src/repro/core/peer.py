@@ -318,7 +318,7 @@ class HiRepPeer:
         pending.attempt += 1
         self._arm_deadline(pending)
 
-    def on_onion_message(self, message, sent_at: float) -> None:
+    def on_onion_message(self, message: object, sent_at: float) -> None:
         """Endpoint for everything that arrives through this peer's onion."""
         if isinstance(message, TrustValueResponse):
             self._on_trust_response(message)

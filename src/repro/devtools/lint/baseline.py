@@ -1,0 +1,117 @@
+"""The ratcheting baseline: grandfathered findings that may only shrink.
+
+The baseline file (``.hirep-lint-baseline.json``, committed) maps finding
+fingerprints to human-readable context.  Semantics enforced here:
+
+* a finding whose fingerprint is in the baseline is *baselined* — reported
+  but non-fatal;
+* a finding not in the baseline is *new* — fatal;
+* a baseline entry with no matching finding is *stale* — fatal by default,
+  forcing ``--update-baseline`` to shrink the file (the ratchet: entries
+  leave, they never come back);
+* ``--update-baseline`` writes the intersection of the old baseline and the
+  current findings — it can only shrink.  Creating a baseline from scratch
+  takes the explicit ``--init-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint.findings import Finding, Severity
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    path: Path
+    entries: dict[str, dict] = field(default_factory=dict)  # fingerprint -> context
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls(path=path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"baseline {path} has version {data.get('version')!r}; "
+                f"expected {_VERSION}"
+            )
+        entries = data.get("findings", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"baseline {path}: 'findings' must be an object")
+        return cls(path=path, entries=entries)
+
+    def save(self) -> None:
+        payload = {"version": _VERSION, "findings": self.entries}
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    @staticmethod
+    def entry_for(finding: Finding) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+
+
+@dataclass
+class Partition:
+    """Findings of a run split against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    warnings: list[Finding] = field(default_factory=list)
+    stale: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def fails(self) -> bool:
+        return bool(self.new) or bool(self.stale)
+
+
+def partition(findings: list[Finding], baseline: Baseline) -> Partition:
+    part = Partition()
+    matched: set[str] = set()
+    for f in findings:
+        if f.severity is Severity.WARNING:
+            part.warnings.append(f)
+        elif f.fingerprint in baseline.entries:
+            part.baselined.append(f)
+            matched.add(f.fingerprint)
+        else:
+            part.new.append(f)
+    part.stale = {
+        fp: ctx for fp, ctx in baseline.entries.items() if fp not in matched
+    }
+    return part
+
+
+def shrink(baseline: Baseline, part: Partition) -> int:
+    """Drop stale entries (the only mutation ``--update-baseline`` makes).
+
+    Returns the number of entries removed.  New findings are *not* added —
+    growing the baseline is deliberately impossible here; bootstrap with
+    ``--init-baseline``.
+    """
+    before = len(baseline.entries)
+    for fingerprint in part.stale:
+        del baseline.entries[fingerprint]
+    return before - len(baseline.entries)
+
+
+def init(baseline: Baseline, findings: list[Finding]) -> None:
+    """Rewrite the baseline to exactly the current error-level findings."""
+    baseline.entries = {
+        f.fingerprint: Baseline.entry_for(f)
+        for f in findings
+        if f.severity is Severity.ERROR
+    }

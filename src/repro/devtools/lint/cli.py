@@ -1,0 +1,128 @@
+"""The ``hirep-lint`` command-line interface.
+
+Exit codes: 0 clean (or everything baselined), 1 new findings / stale
+baseline entries / unreadable files, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.devtools.lint import baseline as baseline_mod
+from repro.devtools.lint.config import load_config
+from repro.devtools.lint.engine import lint_paths
+from repro.devtools.lint.registry import all_rules, resolve_rules
+from repro.devtools.lint.reporters import REPORTERS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hirep-lint",
+        description="AST linter for hiREP determinism & scheduler invariants",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--baseline", default=None, help="baseline file (default: from config)"
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline entirely"
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="drop stale entries from the baseline (shrink-only ratchet)",
+    )
+    parser.add_argument(
+        "--init-baseline",
+        action="store_true",
+        help="(re)create the baseline from all current findings",
+    )
+    parser.add_argument("--select", action="append", help="only run these rule codes")
+    parser.add_argument("--ignore", action="append", help="skip these rule codes")
+    parser.add_argument(
+        "--root", default=".", help="repo root for config and relative paths"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print registered rules and exit"
+    )
+    return parser
+
+
+def _list_rules(stream: TextIO) -> None:
+    for rule in all_rules():
+        scope = ", ".join(rule.packages) if rule.packages else "all modules"
+        print(f"{rule.code}  [{rule.severity.value}]  {rule.name}  ({scope})", file=stream)
+
+
+def main(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int:
+    out = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+
+    root = Path(args.root).resolve()
+    config = load_config(root)
+    try:
+        rules = resolve_rules(args.select or config.select, args.ignore or config.ignore)
+    except KeyError as exc:
+        print(f"hirep-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    # relative paths are relative to --root, so `hirep-lint src --root X`
+    # behaves the same from any working directory
+    targets = [
+        path if path.is_absolute() else root / path
+        for path in (Path(p) for p in args.paths)
+    ]
+    result = lint_paths(
+        targets,
+        repo_root=root,
+        rules=rules,
+        exclude=config.exclude,
+        severity_overrides=config.severity,
+    )
+
+    baseline_path = root / (args.baseline or config.baseline)
+    if args.no_baseline:
+        baseline = baseline_mod.Baseline(path=baseline_path)
+    else:
+        try:
+            baseline = baseline_mod.Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"hirep-lint: {exc}", file=sys.stderr)
+            return 2
+
+    if args.init_baseline:
+        baseline_mod.init(baseline, result.findings)
+        baseline.save()
+        print(
+            f"hirep-lint: baseline initialised with {len(baseline.entries)} "
+            f"finding(s) at {baseline.path}",
+            file=out,
+        )
+        return 0
+
+    part = baseline_mod.partition(result.findings, baseline)
+
+    if args.update_baseline and part.stale:
+        removed = baseline_mod.shrink(baseline, part)
+        baseline.save()
+        print(f"hirep-lint: baseline shrank by {removed} entr"
+              f"{'y' if removed == 1 else 'ies'}", file=out)
+        part = baseline_mod.partition(result.findings, baseline)
+
+    REPORTERS[args.format](part, result.errors, out)
+    return 1 if (part.fails or result.errors) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Project configuration for hirep-lint.
+
+Read from ``[tool.hirep-lint]`` in ``pyproject.toml`` when the interpreter
+has :mod:`tomllib` (Python >= 3.11); on 3.10 the shipped defaults apply and
+CLI flags still override everything.  Recognised keys::
+
+    [tool.hirep-lint]
+    baseline = ".hirep-lint-baseline.json"
+    select   = ["DET001", ...]     # default: all registered rules
+    ignore   = []
+    exclude  = ["devtools/lint/"]  # path fragments to skip
+
+    [tool.hirep-lint.severity]
+    API001 = "warning"             # demote a rule
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint.findings import Severity
+
+try:  # tomllib is 3.11+; the project supports 3.10
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - depends on interpreter
+    tomllib = None  # type: ignore[assignment]
+
+DEFAULT_BASELINE = ".hirep-lint-baseline.json"
+
+
+@dataclass
+class LintConfig:
+    baseline: str = DEFAULT_BASELINE
+    select: list[str] = field(default_factory=list)  # empty = all
+    ignore: list[str] = field(default_factory=list)
+    exclude: list[str] = field(default_factory=list)
+    severity: dict[str, Severity] = field(default_factory=dict)
+
+
+def load_config(repo_root: Path) -> LintConfig:
+    config = LintConfig()
+    pyproject = repo_root / "pyproject.toml"
+    if tomllib is None or not pyproject.exists():
+        return config
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError):
+        return config
+    section = data.get("tool", {}).get("hirep-lint", {})
+    if not isinstance(section, dict):
+        return config
+    config.baseline = str(section.get("baseline", config.baseline))
+    for key in ("select", "ignore", "exclude"):
+        value = section.get(key)
+        if isinstance(value, list):
+            setattr(config, key, [str(v) for v in value])
+    severity = section.get("severity")
+    if isinstance(severity, dict):
+        for code, level in severity.items():
+            try:
+                config.severity[str(code)] = Severity.parse(str(level))
+            except ValueError:
+                continue  # ignore bad levels rather than break every lint run
+    return config

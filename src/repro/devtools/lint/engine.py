@@ -1,0 +1,217 @@
+"""The linting engine: file walking, pragma handling, rule dispatch.
+
+The engine parses each file once, hands every active rule a
+:class:`FileContext` (AST + source lines + helpers), collects findings,
+drops the ones suppressed by an inline ``# lint: allow[RULE]`` pragma and
+fingerprints the rest for the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.lint.findings import Finding, Severity, sort_findings
+from repro.devtools.lint.registry import Rule, resolve_rules
+
+#: inline suppression: ``# lint: allow[DET002]`` or ``# lint: allow[DET002,API001]``
+#: (``*`` allows every rule on that line).  Must sit on the physical line the
+#: finding is reported at — for function-level rules that is the ``def`` line.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9_*,\s]+)\]")
+
+
+def parse_pragmas(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of allowed rule codes on that line."""
+    pragmas: dict[int, set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            if codes:
+                pragmas[lineno] = codes
+    return pragmas
+
+
+def module_name_for(path: Path) -> str | None:
+    """Infer the dotted module name from a file path.
+
+    Walks up from the file collecting package directories (those with an
+    ``__init__.py``); returns ``None`` for scripts outside any package.
+    """
+    if path.suffix != ".py":
+        return None
+    parts: list[str] = []
+    if path.stem != "__init__":
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if not parts:
+        return None
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: str  # as reported in findings (repo-relative posix)
+    module: str | None
+    tree: ast.AST
+    lines: list[str]
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(
+        self, rule: Rule, node: ast.AST, message: str, severity: Severity | None = None
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule=rule.code,
+            message=message,
+            path=self.path,
+            line=lineno,
+            col=col,
+            severity=severity if severity is not None else rule.severity,
+            source_line=self.source_line(lineno),
+        )
+
+
+@dataclass
+class LintResult:
+    """Findings of one run, partitioned against the baseline by the caller."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)  # unparseable files etc.
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.errors.extend(other.errors)
+
+
+def _dedupe_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Assign occurrence indices so identical lines fingerprint uniquely."""
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[Finding] = []
+    for f in sort_findings(findings):
+        key = (f.path, f.rule, f.source_line.strip())
+        occ = seen.get(key, 0)
+        seen[key] = occ + 1
+        if occ:
+            f = Finding(
+                rule=f.rule,
+                message=f.message,
+                path=f.path,
+                line=f.line,
+                col=f.col,
+                severity=f.severity,
+                source_line=f.source_line,
+                occurrence=occ,
+            )
+        out.append(f)
+    return out
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<snippet>",
+    module: str | None = None,
+    rules: Iterable[Rule] | None = None,
+    severity_overrides: dict[str, Severity] | None = None,
+) -> LintResult:
+    """Lint one in-memory source blob (the unit-test entry point)."""
+    result = LintResult()
+    active = list(rules) if rules is not None else resolve_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+        return result
+    lines = source.splitlines()
+    ctx = FileContext(path=path, module=module, tree=tree, lines=lines)
+    pragmas = parse_pragmas(lines)
+    overrides = severity_overrides or {}
+    raw: list[Finding] = []
+    for rule in active:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(ctx):
+            allowed = pragmas.get(finding.line, ())
+            if finding.rule in allowed or "*" in allowed:
+                continue
+            if finding.rule in overrides and overrides[finding.rule] != finding.severity:
+                finding = Finding(
+                    rule=finding.rule,
+                    message=finding.message,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    severity=overrides[finding.rule],
+                    source_line=finding.source_line,
+                )
+            raw.append(finding)
+    result.findings = _dedupe_occurrences(raw)
+    return result
+
+
+def iter_python_files(paths: Iterable[Path], exclude: Iterable[str] = ()) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for root in paths:
+        if root.is_file():
+            if root.suffix == ".py":
+                out.add(root)
+        elif root.is_dir():
+            out.update(p for p in root.rglob("*.py"))
+    exclude = tuple(exclude)
+
+    def excluded(p: Path) -> bool:
+        posix = p.as_posix()
+        return any(frag in posix for frag in exclude) or "__pycache__" in posix
+
+    return sorted(p for p in out if not excluded(p))
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    *,
+    repo_root: Path | None = None,
+    rules: Iterable[Rule] | None = None,
+    exclude: Iterable[str] = (),
+    severity_overrides: dict[str, Severity] | None = None,
+) -> LintResult:
+    """Lint files and/or directory trees; paths in findings are repo-relative."""
+    root = (repo_root or Path.cwd()).resolve()
+    active = list(rules) if rules is not None else resolve_rules()
+    result = LintResult()
+    for file_path in iter_python_files(paths, exclude):
+        resolved = file_path.resolve()
+        try:
+            rel = resolved.relative_to(root).as_posix()
+        except ValueError:
+            rel = resolved.as_posix()
+        try:
+            source = resolved.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.errors.append(f"{rel}: unreadable: {exc}")
+            continue
+        result.extend(
+            lint_source(
+                source,
+                path=rel,
+                module=module_name_for(resolved),
+                rules=active,
+                severity_overrides=severity_overrides,
+            )
+        )
+    result.findings = sort_findings(result.findings)
+    return result

@@ -1,0 +1,93 @@
+"""Rule base class and registry.
+
+A rule is a class with a ``code``, a default ``severity``, an optional
+``packages`` scope (dotted-module prefixes it applies to) and a
+``check(ctx)`` generator yielding findings.  Registration is a decorator so
+dropping a new module into :mod:`repro.devtools.lint.rules` and importing
+it from that package's ``__init__`` is all it takes to add a rule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
+
+from repro.devtools.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint.engine import FileContext
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    #: unique short identifier, e.g. ``DET001``
+    code: str = ""
+    #: one-line summary shown by ``--list-rules``
+    name: str = ""
+    #: default severity; overridable per-project via config
+    severity: Severity = Severity.ERROR
+    #: dotted module prefixes this rule applies to; ``None`` means every
+    #: module handed to the linter.  ``("repro.sim",)`` matches
+    #: ``repro.sim`` and everything below it.
+    packages: tuple[str, ...] | None = None
+
+    def applies_to(self, module: str | None) -> bool:
+        if self.packages is None:
+            return True
+        if module is None:
+            return False
+        return any(
+            module == pkg or module.startswith(pkg + ".") for pkg in self.packages
+        )
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.code}>"
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add the rule to the registry."""
+    rule = cls()
+    if not rule.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code (imports the bundled set)."""
+    import repro.devtools.lint.rules  # noqa: F401  (side-effect: registration)
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    import repro.devtools.lint.rules  # noqa: F401
+
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(f"unknown rule code {code!r}") from None
+
+
+def resolve_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """The active rule set after ``select``/``ignore`` filtering."""
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            raise KeyError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.code in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [r for r in rules if r.code not in dropped]
+    return rules

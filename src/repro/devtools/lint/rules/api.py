@@ -1,0 +1,100 @@
+"""API001: public functions in repro.core / repro.exec are fully annotated.
+
+These two packages are the library's stable surface (the trust protocol and
+the orchestration engine); complete annotations keep mypy useful there and
+make JobSpec kwargs auditable.  "Fully annotated" means every parameter
+except ``self``/``cls`` plus the return type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        while isinstance(target, ast.Attribute):
+            names.add(target.attr)
+            target = target.value
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+@register
+class FullyAnnotatedPublicAPI(Rule):
+    """API001: public functions must annotate every parameter and the return."""
+
+    code = "API001"
+    name = "public repro.core/repro.exec functions fully type-annotated"
+    packages = ("repro.core", "repro.exec")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._scan(ctx, ctx.tree, in_class=False, public_scope=True)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, *, in_class: bool, public_scope: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from self._scan(
+                    ctx,
+                    child,
+                    in_class=True,
+                    public_scope=public_scope and _is_public(child.name),
+                )
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if public_scope and _is_public(child.name):
+                    yield from self._check_signature(ctx, child, in_class)
+                # nested defs are implementation detail — not scanned
+
+    def _check_signature(
+        self,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        in_class: bool,
+    ) -> Iterator[Finding]:
+        decorators = _decorator_names(node)
+        if "overload" in decorators:
+            return
+        args = node.args
+        missing: list[str] = []
+        positional = list(args.posonlyargs) + list(args.args)
+        skip_first = in_class and "staticmethod" not in decorators
+        for index, arg in enumerate(positional):
+            if skip_first and index == 0:  # self / cls
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is None:
+                missing.append(("*" if star is args.vararg else "**") + star.arg)
+        needs_return = node.returns is None and not (
+            in_class and node.name == "__init__"  # conventionally -> None, tolerated
+        )
+        if missing or needs_return:
+            what: list[str] = []
+            if missing:
+                what.append(f"parameter(s) {', '.join(missing)}")
+            if needs_return:
+                what.append("return type")
+            yield ctx.finding(
+                self,
+                node,
+                f"public function `{node.name}` is missing annotations for "
+                f"{' and '.join(what)}",
+            )

@@ -1,0 +1,210 @@
+"""Determinism rules: seeded randomness, no wall clock, sorted JSON.
+
+These encode the three properties every hiREP experiment leans on: results
+are a pure function of the seed (DET001), simulated time is the only time
+(DET002), and exported/cached JSON is byte-stable so content-addressed
+cache keys and ``--jobs N == --jobs 1`` comparisons hold (DET003).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+#: ``np.random.<attr>`` access that does *not* touch the hidden global
+#: stream — types used in annotations plus the seeded-generator factory.
+_NP_RANDOM_OK = {"Generator", "BitGenerator", "SeedSequence", "default_rng"}
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; empty list if not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+@register
+class NoGlobalRandomness(Rule):
+    """DET001: all randomness must flow through an injected, seeded Generator."""
+
+    code = "DET001"
+    name = "no stdlib random / global numpy RNG / unseeded default_rng"
+    packages = ("repro",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "stdlib `random` has hidden global state; draw from "
+                            "an injected np.random.Generator (see repro.sim.rng)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "stdlib `random` has hidden global state; draw from "
+                        "an injected np.random.Generator (see repro.sim.rng)",
+                    )
+                elif node.module in ("numpy.random", "np.random"):
+                    bad = [a.name for a in node.names if a.name not in _NP_RANDOM_OK]
+                    if bad:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"numpy.random.{bad[0]} uses the hidden global "
+                            "stream; thread a seeded Generator instead",
+                        )
+            elif isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if (
+                    len(chain) == 3
+                    and chain[0] in ("np", "numpy")
+                    and chain[1] == "random"
+                    and chain[2] not in _NP_RANDOM_OK
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{'.'.join(chain)} mutates/reads the hidden global "
+                        "RNG; thread a seeded Generator instead",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                is_default_rng = chain[-1:] == ["default_rng"] and (
+                    len(chain) == 1 or chain[:-1] in (["np", "random"], ["numpy", "random"])
+                )
+                if is_default_rng and not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "unseeded default_rng() is nondeterministic; pass an "
+                        "explicit seed (or accept an injected Generator)",
+                    )
+
+
+#: modules × attributes that read the wall clock.
+_CLOCK_ATTRS = {
+    "time": {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    },
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+
+@register
+class NoWallClock(Rule):
+    """DET002: sim/core/net/exec/experiments code never reads the wall clock.
+
+    Simulated time comes from :mod:`repro.sim.clock`; anything else makes a
+    run depend on host load.  Telemetry call sites (progress lines, manifest
+    timestamps, wall-time summaries) are legitimate — mark them with
+    ``# lint: allow[DET002]``.
+    """
+
+    code = "DET002"
+    name = "no wall-clock reads in deterministic code"
+    packages = ("repro.sim", "repro.core", "repro.net", "repro.exec", "repro.experiments")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imported_clocks: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in _CLOCK_ATTRS:
+                for alias in node.names:
+                    if alias.name in _CLOCK_ATTRS[node.module]:
+                        imported_clocks.add(alias.asname or alias.name)
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"importing {node.module}.{alias.name} pulls the "
+                            "wall clock into deterministic code; use the "
+                            "simulation clock (repro.sim.clock)",
+                        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                # time.time / datetime.now / datetime.datetime.now(...)
+                if (
+                    len(chain) >= 2
+                    and chain[-2] in _CLOCK_ATTRS
+                    and chain[-1] in _CLOCK_ATTRS[chain[-2]]
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{'.'.join(chain)} reads the wall clock; use the "
+                        "simulation clock (repro.sim.clock) or pragma a "
+                        "telemetry site with `# lint: allow[DET002]`",
+                    )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id in imported_clocks:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{node.func.id}() reads the wall clock; use the "
+                        "simulation clock (repro.sim.clock)",
+                    )
+
+
+@register
+class SortedJSONExports(Rule):
+    """DET003: every json.dump/json.dumps must pass sort_keys=True.
+
+    Export and cache files are compared byte-for-byte (``--jobs N`` vs
+    ``--jobs 1``, cache replay in CI); Python dict order is insertion order,
+    so any unsorted dump makes byte equality depend on code paths.
+    """
+
+    code = "DET003"
+    name = "json.dump(s) must sort keys on export/cache paths"
+    packages = ("repro",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain not in (["json", "dump"], ["json", "dumps"]):
+                continue
+            sort_kw = None
+            has_star_kwargs = any(kw.arg is None for kw in node.keywords)
+            for kw in node.keywords:
+                if kw.arg == "sort_keys":
+                    sort_kw = kw.value
+            if sort_kw is None:
+                if has_star_kwargs:
+                    continue  # can't see inside **kwargs; give the benefit of the doubt
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{'.'.join(chain)}(...) without sort_keys=True is not "
+                    "byte-deterministic; exports and cache entries must be",
+                )
+            elif isinstance(sort_kw, ast.Constant) and sort_kw.value is not True:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{'.'.join(chain)}(..., sort_keys={sort_kw.value!r}) "
+                    "disables key sorting; exports must be byte-deterministic",
+                )

@@ -1,0 +1,115 @@
+"""EXC001: callables handed to the repro.exec scheduler must be module-level.
+
+The scheduler ships work to ``ProcessPoolExecutor`` workers and keys the
+result cache on a fingerprint of the *module source* that will run.
+Lambdas and nested functions break both: they don't pickle, and their code
+lives outside any fingerprinted module.  ``functools.partial`` over a
+module-level function is fine — the partial pickles and the target's module
+is fingerprinted — so the rule unwraps partials before judging.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+#: call sites whose callable arguments end up pickled or fingerprinted:
+#: ``<pool>.submit(fn, ...)`` / ``<pool>.map(fn, ...)`` (first positional
+#: argument) and ``SweepPlan(assemble=...)`` / ``replace(plan, assemble=...)``
+#: (keyword).
+_METHOD_SINKS = {"submit", "map"}
+_KWARG_SINKS = {"SweepPlan": "assemble"}
+
+
+def _local_function_names(tree: ast.AST) -> set[str]:
+    """Names of functions defined *inside* another function (closures)."""
+    local: set[str] = set()
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def _visit_func(self, node: ast.AST, name: str | None) -> None:
+            if self.depth > 0 and name:
+                local.add(name)
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._visit_func(node, node.name)
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self._visit_func(node, node.name)
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+    Visitor().visit(tree)
+    return local
+
+
+def _unwrap_partial(node: ast.expr) -> ast.expr:
+    """``functools.partial(fn, ...)`` / ``partial(fn, ...)`` -> ``fn``."""
+    if isinstance(node, ast.Call) and node.args:
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name == "partial":
+            return node.args[0]
+    return node
+
+
+@register
+class ModuleLevelCallables(Rule):
+    """EXC001: no lambdas/closures submitted to the exec scheduler."""
+
+    code = "EXC001"
+    name = "scheduler callables must be module-level (picklable, fingerprintable)"
+    packages = ("repro",)
+
+    def _judge(
+        self, ctx: FileContext, arg: ast.expr, locals_: set[str], sink: str
+    ) -> Iterator[Finding]:
+        arg = _unwrap_partial(arg)
+        if isinstance(arg, ast.Lambda):
+            yield ctx.finding(
+                self,
+                arg,
+                f"lambda passed to {sink}: lambdas don't pickle across the "
+                "process pool and escape the code-fingerprint cache key; "
+                "define a module-level function",
+            )
+        elif isinstance(arg, ast.Name) and arg.id in locals_:
+            yield ctx.finding(
+                self,
+                arg,
+                f"nested function `{arg.id}` passed to {sink}: closures "
+                "don't pickle across the process pool; lift it to module "
+                "level (use functools.partial to bind arguments)",
+            )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        locals_ = _local_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _METHOD_SINKS:
+                if node.args:
+                    yield from self._judge(
+                        ctx, node.args[0], locals_, f".{func.attr}()"
+                    )
+            callee = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            if callee in _KWARG_SINKS:
+                wanted = _KWARG_SINKS[callee]
+                for kw in node.keywords:
+                    if kw.arg == wanted:
+                        yield from self._judge(
+                            ctx, kw.value, locals_, f"{callee}({wanted}=...)"
+                        )

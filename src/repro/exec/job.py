@@ -22,6 +22,7 @@ import json
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
+from typing import Any
 
 from repro._version import __version__
 
@@ -33,7 +34,7 @@ __all__ = ["JobSpec", "canonical_json", "code_fingerprint", "job_key"]
 _COMMON_CODE = ("repro.experiments.common", "repro.experiments.export")
 
 
-def canonical_json(obj) -> str:
+def canonical_json(obj: Any) -> str:
     """Deterministic JSON encoding used for hashing and manifests."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
+from typing import Any
 
 from repro.exec.job import canonical_json
 
@@ -44,8 +45,9 @@ class RunManifest:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a")
 
-    def append(self, event: str, **fields) -> None:
-        record = {"event": event, "ts": round(time.time(), 3), **fields}
+    def append(self, event: str, **fields: Any) -> None:
+        # journal timestamps are telemetry, not simulated time
+        record = {"event": event, "ts": round(time.time(), 3), **fields}  # lint: allow[DET002]
         self._fh.write(canonical_json(record) + "\n")
         self._fh.flush()
 

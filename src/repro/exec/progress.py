@@ -14,8 +14,12 @@ Two pieces:
 from __future__ import annotations
 
 import sys
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.experiments.common import format_table
+
+if TYPE_CHECKING:  # JobOutcome only flows in; scheduler does not import us back
+    from repro.exec.scheduler import JobOutcome
 
 __all__ = ["ProgressReporter", "summary_line", "summary_table"]
 
@@ -23,7 +27,7 @@ __all__ = ["ProgressReporter", "summary_line", "summary_table"]
 class ProgressReporter:
     """Live per-job counter; safe to point at any text stream."""
 
-    def __init__(self, stream=None, enabled: bool | None = None) -> None:
+    def __init__(self, stream: Any | None = None, enabled: bool | None = None) -> None:
         self.stream = stream if stream is not None else sys.stderr
         isatty = getattr(self.stream, "isatty", lambda: False)
         self.enabled = bool(isatty()) if enabled is None else enabled
@@ -31,7 +35,7 @@ class ProgressReporter:
         self._dirty = False
         self.cached = 0
 
-    def update(self, outcome, done: int, total: int) -> None:
+    def update(self, outcome: JobOutcome, done: int, total: int) -> None:
         if outcome.cached:
             self.cached += 1
         if not self.enabled:
@@ -59,7 +63,7 @@ class ProgressReporter:
             self._dirty = False
 
 
-def summary_table(outcomes) -> str:
+def summary_table(outcomes: Iterable[JobOutcome]) -> str:
     """Fixed-width per-job timing table for the end of a run."""
     rows = []
     for outcome in outcomes:
@@ -85,7 +89,7 @@ def summary_table(outcomes) -> str:
     )
 
 
-def summary_line(outcomes, wall_s: float | None = None) -> str:
+def summary_line(outcomes: Sequence[JobOutcome], wall_s: float | None = None) -> str:
     """One grep-able totals line, e.g.
     ``jobs: 12 total | 9 run | 3 cached | 0 failed | wall 41.3s``."""
     total = len(outcomes)

@@ -40,6 +40,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.exec.cache import ResultCache
 from repro.exec.job import JobSpec, job_key
@@ -81,7 +82,7 @@ class JobOutcome:
     def ok(self) -> bool:
         return self.error is None and self.payload is not None
 
-    def value(self):
+    def value(self) -> Any:
         """The decoded job result; raises :class:`JobFailure` if it failed."""
         if not self.ok:
             raise JobFailure(self)
@@ -245,7 +246,7 @@ class SweepScheduler:
                 future = pool.submit(execute_spec, specs[index].to_dict())
                 futures[future] = index
                 deadlines[index] = (
-                    time.monotonic() + self.timeout_s
+                    time.monotonic() + self.timeout_s  # lint: allow[DET002] -- watchdog, not sim time
                     if self.timeout_s
                     else math.inf
                 )
@@ -315,7 +316,7 @@ class SweepScheduler:
                 ready, _ = wait(
                     set(futures), timeout=_POLL_S, return_when=FIRST_COMPLETED
                 )
-                now = time.monotonic()
+                now = time.monotonic()  # lint: allow[DET002] -- watchdog, not sim time
                 overdue = {
                     index: (
                         f"TimeoutError: exceeded --timeout {self.timeout_s:g}s"

@@ -19,7 +19,9 @@ as sibling jobs whose results pool into a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from functools import partial
+from types import ModuleType
+from typing import Any, Callable, Sequence
 
 from repro.exec.job import JobSpec
 
@@ -42,7 +44,19 @@ def _single(values: list[Any]) -> Any:
     return values[0]
 
 
-def plan_for(name: str, module, kwargs: dict) -> SweepPlan:
+def _assemble_replication(results: list[Any], seeds: list[int]) -> Any:
+    """Pool per-seed results into a ``Replication``.
+
+    Module-level (bound with :func:`functools.partial`) so the assemble
+    callable pickles and stays inside the fingerprinted module — see lint
+    rule EXC001.
+    """
+    from repro.experiments.replication import Replication
+
+    return Replication.from_results(results, seeds)
+
+
+def plan_for(name: str, module: ModuleType, kwargs: dict) -> SweepPlan:
     """The module's own ``plan(**kwargs)`` if it defines one, else one job."""
     planner = getattr(module, "plan", None)
     if planner is not None:
@@ -51,10 +65,10 @@ def plan_for(name: str, module, kwargs: dict) -> SweepPlan:
     return SweepPlan(specs=[spec], assemble=_single)
 
 
-def replication_plan(name: str, module, seeds, kwargs: dict) -> SweepPlan:
+def replication_plan(
+    name: str, module: ModuleType, seeds: Sequence[int], kwargs: dict
+) -> SweepPlan:
     """One job per seed; assembles into a ``Replication``."""
-    from repro.experiments.replication import Replication
-
     seeds = [int(s) for s in seeds]
     specs = [
         JobSpec(
@@ -66,5 +80,5 @@ def replication_plan(name: str, module, seeds, kwargs: dict) -> SweepPlan:
     ]
     return SweepPlan(
         specs=specs,
-        assemble=lambda results: Replication.from_results(results, seeds),
+        assemble=partial(_assemble_replication, seeds=seeds),
     )

@@ -25,6 +25,7 @@ import importlib
 import resource
 import sys
 import time
+from typing import Any
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.export import result_from_dict, result_to_dict
@@ -32,14 +33,14 @@ from repro.experiments.export import result_from_dict, result_to_dict
 __all__ = ["execute_spec", "encode_value", "decode_payload"]
 
 
-def encode_value(value) -> dict:
+def encode_value(value: Any) -> dict:
     """Wrap a job return value in a typed, JSON-able payload."""
     if isinstance(value, ExperimentResult):
         return {"kind": "experiment_result", "value": result_to_dict(value, exact=True)}
     return {"kind": "value", "value": value}
 
 
-def decode_payload(payload: dict):
+def decode_payload(payload: dict) -> Any:
     """Invert :func:`encode_value` (cache replay takes this path too)."""
     kind = payload.get("kind")
     if kind == "experiment_result":
@@ -60,9 +61,9 @@ def execute_spec(spec_dict: dict) -> dict:
     module = importlib.import_module(spec_dict["module"])
     func = getattr(module, spec_dict.get("func", "run"))
     kwargs = spec_dict.get("kwargs", {})
-    start = time.perf_counter()
+    start = time.perf_counter()  # lint: allow[DET002] -- job timing telemetry
     value = func(**kwargs)
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # lint: allow[DET002]
     return {
         "payload": encode_value(value),
         "elapsed_s": elapsed,

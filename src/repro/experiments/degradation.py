@@ -14,6 +14,8 @@ processes and reassembles the exact serial result.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.experiments.robustness import (
     assemble_degradation,
     degradation_cells,
@@ -53,8 +55,8 @@ def plan(
     ]
     return SweepPlan(
         specs=specs,
-        assemble=lambda values: assemble_degradation(
-            values, loss_rates=loss_rates, crash_fractions=crash_fractions
+        assemble=partial(
+            assemble_degradation, loss_rates=loss_rates, crash_fractions=crash_fractions
         ),
     )
 

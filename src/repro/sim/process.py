@@ -33,7 +33,9 @@ Yieldable = Union[float, int, "ProcessHandle"]
 class ProcessHandle:
     """A running (or finished) process."""
 
-    def __init__(self, engine: SimEngine, generator: Generator[Yieldable, Any, Any]):
+    def __init__(
+        self, engine: SimEngine, generator: Generator[Yieldable, Any, Any]
+    ) -> None:
         self._engine = engine
         self._generator = generator
         self.done = False

@@ -1,0 +1,41 @@
+"""Self-lint: the shipped rules pass over the live tree.
+
+This is the ratchet's anchor in tier-1: if a change introduces a global
+RNG, a wall-clock read in sim/core/net, an unsorted JSON export, a closure
+handed to the scheduler or an unannotated public API, this test fails
+before CI does.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.devtools.lint import all_rules
+from repro.devtools.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_bundled_rule_set_is_complete():
+    assert [r.code for r in all_rules()] == [
+        "API001",
+        "DET001",
+        "DET002",
+        "DET003",
+        "EXC001",
+    ]
+
+
+def test_live_tree_is_clean_against_committed_baseline():
+    out = io.StringIO()
+    code = main(["src", "--root", str(REPO_ROOT)], stream=out)
+    assert code == 0, f"hirep-lint found new violations:\n{out.getvalue()}"
+
+
+def test_committed_baseline_only_shrinks():
+    """The committed baseline reached empty; it must stay empty."""
+    import json
+
+    baseline = json.loads((REPO_ROOT / ".hirep-lint-baseline.json").read_text())
+    assert baseline == {"findings": {}, "version": 1}

@@ -1,0 +1,117 @@
+"""Baseline ratchet semantics and fingerprint stability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.lint import Baseline, Finding, Severity, lint_source, partition
+from repro.devtools.lint.baseline import init, shrink
+
+
+def find(source: str, module: str = "repro.sim.fake", path: str = "fake.py"):
+    return lint_source(source, module=module, path=path).findings
+
+
+def test_fingerprint_survives_line_shifts():
+    before = find("import random\n")
+    after = find("# a new leading comment\n\nimport random\n")
+    assert len(before) == len(after) == 1
+    assert before[0].line != after[0].line
+    assert before[0].fingerprint == after[0].fingerprint
+
+
+def test_identical_lines_get_distinct_fingerprints():
+    findings = find("import time\na = time.time()\nb = 1\na = time.time()\n")
+    clocks = [f for f in findings if f.rule == "DET002"]
+    assert len(clocks) == 2
+    assert clocks[0].fingerprint != clocks[1].fingerprint
+
+
+def test_partition_new_vs_baselined_vs_stale(tmp_path):
+    findings = find("import random\nimport time\nt = time.time()\n")
+    by_rule = sorted(f.rule for f in findings)
+    assert by_rule == ["DET001", "DET002"]
+
+    baseline = Baseline(path=tmp_path / "base.json")
+    det001 = next(f for f in findings if f.rule == "DET001")
+    baseline.entries[det001.fingerprint] = Baseline.entry_for(det001)
+    baseline.entries["feedfacefeedface"] = {"rule": "DET003", "path": "gone.py", "line": 1}
+
+    part = partition(findings, baseline)
+    assert [f.rule for f in part.new] == ["DET002"]
+    assert [f.rule for f in part.baselined] == ["DET001"]
+    assert set(part.stale) == {"feedfacefeedface"}
+    assert part.fails  # new finding + stale entry
+
+
+def test_adding_a_finding_fails_removing_one_passes(tmp_path):
+    """The ratchet in one test: baseline covers the tree; edits only shrink."""
+    baseline = Baseline(path=tmp_path / "base.json")
+    grandfathered = find("import random\n")
+    init(baseline, grandfathered)
+
+    # status quo: everything baselined -> passes
+    part = partition(grandfathered, baseline)
+    assert not part.fails and len(part.baselined) == 1
+
+    # a contributor adds a second violation -> new finding -> fails
+    grown = find("import random\nimport time\nt = time.time()\n")
+    part = partition(grown, baseline)
+    assert part.fails and [f.rule for f in part.new] == ["DET002"]
+
+    # the violation is fixed instead -> stale entry forces a shrink
+    clean: list[Finding] = find("x = 1\n")
+    part = partition(clean, baseline)
+    assert part.fails and len(part.stale) == 1
+    removed = shrink(baseline, part)
+    assert removed == 1 and baseline.entries == {}
+    part = partition(clean, baseline)
+    assert not part.fails
+
+
+def test_shrink_never_adds_entries(tmp_path):
+    baseline = Baseline(path=tmp_path / "base.json")
+    findings = find("import random\n")
+    part = partition(findings, baseline)
+    assert part.new and not part.stale
+    assert shrink(baseline, part) == 0
+    assert baseline.entries == {}  # new findings were NOT absorbed
+
+
+def test_warnings_bypass_baseline(tmp_path):
+    result = lint_source(
+        "import random\n",
+        module="repro.sim.fake",
+        severity_overrides={"DET001": Severity.WARNING},
+    )
+    part = partition(result.findings, Baseline(path=tmp_path / "b.json"))
+    assert not part.fails
+    assert [f.rule for f in part.warnings] == ["DET001"]
+
+
+def test_baseline_roundtrip_and_validation(tmp_path):
+    path = tmp_path / "base.json"
+    baseline = Baseline(path=path)
+    init(baseline, find("import random\n"))
+    baseline.save()
+
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+    # file is itself deterministic: sorted keys, trailing newline
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n" == text
+
+    path.write_text('{"version": 99, "findings": {}}')
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+    path.write_text("not json")
+    with pytest.raises(ValueError, match="unreadable"):
+        Baseline.load(path)
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert baseline.entries == {}

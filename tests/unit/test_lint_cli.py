@@ -1,0 +1,122 @@
+"""hirep-lint CLI: exit codes, reporters, baseline flags."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.devtools.lint.cli import main
+
+VIOLATION = "import random\n"
+CLEAN = "VALUE = 1\n"
+
+
+def make_repo(tmp_path: Path, source: str) -> Path:
+    """A mini checkout whose file resolves to module ``repro.sim.mod``."""
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    for init in (pkg / "__init__.py", pkg.parent / "__init__.py"):
+        init.write_text("")
+    (pkg / "mod.py").write_text(source)
+    return tmp_path
+
+
+def run(root: Path, *extra: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(["src", "--root", str(root), *extra], stream=out)
+    return code, out.getvalue()
+
+
+def test_clean_tree_exits_zero(tmp_path):
+    code, out = run(make_repo(tmp_path, CLEAN))
+    assert code == 0
+    assert "0 new" in out
+
+
+def test_new_finding_exits_one(tmp_path):
+    code, out = run(make_repo(tmp_path, VIOLATION))
+    assert code == 1
+    assert "DET001" in out and "1 new" in out
+
+
+def test_init_then_baselined_exits_zero(tmp_path):
+    root = make_repo(tmp_path, VIOLATION)
+    code, _ = run(root, "--init-baseline")
+    assert code == 0
+    assert (root / ".hirep-lint-baseline.json").exists()
+    code, out = run(root)
+    assert code == 0
+    assert "[baselined]" in out and "1 baselined" in out
+
+
+def test_stale_baseline_fails_until_updated(tmp_path):
+    root = make_repo(tmp_path, VIOLATION)
+    run(root, "--init-baseline")
+    (root / "src" / "repro" / "sim" / "mod.py").write_text(CLEAN)  # fix it
+
+    code, out = run(root)
+    assert code == 1
+    assert "stale" in out and "--update-baseline" in out
+
+    code, out = run(root, "--update-baseline")
+    assert code == 0
+    assert "shrank by 1" in out
+    baseline = json.loads((root / ".hirep-lint-baseline.json").read_text())
+    assert baseline["findings"] == {}
+
+
+def test_update_baseline_does_not_absorb_new_findings(tmp_path):
+    root = make_repo(tmp_path, VIOLATION)
+    code, _ = run(root, "--update-baseline")
+    assert code == 1  # still fails; the baseline can only shrink
+    assert not (root / ".hirep-lint-baseline.json").exists()
+
+
+def test_no_baseline_flag_ignores_file(tmp_path):
+    root = make_repo(tmp_path, VIOLATION)
+    run(root, "--init-baseline")
+    code, _ = run(root, "--no-baseline")
+    assert code == 1
+
+
+def test_json_reporter(tmp_path):
+    code, out = run(make_repo(tmp_path, VIOLATION), "--format", "json")
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["summary"]["new"] == 1
+    (finding,) = payload["new"]
+    assert finding["rule"] == "DET001"
+    assert finding["path"].endswith("mod.py") and finding["fingerprint"]
+
+
+def test_github_reporter_annotations(tmp_path):
+    code, out = run(make_repo(tmp_path, VIOLATION), "--format", "github")
+    assert code == 1
+    assert out.startswith("::error file=")
+    assert "title=DET001" in out
+
+
+def test_select_and_ignore(tmp_path):
+    root = make_repo(tmp_path, VIOLATION)
+    code, _ = run(root, "--select", "DET002")
+    assert code == 0  # DET001 not selected
+    code, _ = run(root, "--ignore", "DET001")
+    assert code == 0
+    code, _ = run(root, "--select", "NOPE999")
+    assert code == 2
+
+
+def test_list_rules(tmp_path):
+    out = io.StringIO()
+    assert main(["--list-rules"], stream=out) == 0
+    listing = out.getvalue()
+    for code in ("DET001", "DET002", "DET003", "EXC001", "API001"):
+        assert code in listing
+
+
+def test_syntax_error_reported_not_fatal(tmp_path):
+    root = make_repo(tmp_path, "def broken(:\n")
+    code, out = run(root)
+    assert code == 1
+    assert "syntax error" in out

@@ -1,0 +1,221 @@
+"""Each bundled hirep-lint rule against planted-violation fixtures.
+
+Every rule gets: a snippet that must trigger it, a snippet that must not,
+and a pragma'd snippet that must be suppressed.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.lint import lint_source
+
+
+def codes(source: str, module: str = "repro.sim.fake") -> list[str]:
+    result = lint_source(textwrap.dedent(source), module=module, path="fake.py")
+    assert not result.errors, result.errors
+    return [f.rule for f in result.findings]
+
+
+# ---------------------------------------------------------------- DET001
+
+
+def test_det001_flags_stdlib_random_import():
+    assert codes("import random\n") == ["DET001"]
+    assert codes("from random import choice\n") == ["DET001"]
+
+
+def test_det001_flags_global_numpy_rng():
+    assert "DET001" in codes("import numpy as np\nx = np.random.rand(3)\n")
+    assert "DET001" in codes("import numpy as np\nnp.random.seed(7)\n")
+    assert "DET001" in codes("from numpy.random import rand\n")
+
+
+def test_det001_flags_unseeded_default_rng():
+    assert "DET001" in codes("import numpy as np\nrng = np.random.default_rng()\n")
+    assert "DET001" in codes("from numpy.random import default_rng\nrng = default_rng()\n")
+
+
+def test_det001_allows_injected_generator_idiom():
+    clean = """
+        import numpy as np
+
+        def draw(rng: np.random.Generator) -> float:
+            return float(rng.random())
+
+        rng = np.random.default_rng(42)
+    """
+    assert codes(clean) == []
+
+
+def test_det001_scoped_to_repro_package():
+    assert codes("import random\n", module="scripts.tool") == []
+    assert codes("import random\n", module=None) == []
+
+
+def test_det001_pragma_suppresses():
+    assert codes("import random  # lint: allow[DET001]\n") == []
+
+
+# ---------------------------------------------------------------- DET002
+
+
+def test_det002_flags_wall_clock_reads():
+    assert "DET002" in codes("import time\nt = time.time()\n")
+    assert "DET002" in codes("import time\nt = time.perf_counter()\n")
+    assert "DET002" in codes(
+        "import datetime\nnow = datetime.datetime.now()\n"
+    )
+
+
+def test_det002_flags_clock_imports_and_bare_calls():
+    found = codes("from time import perf_counter\nt = perf_counter()\n")
+    assert found.count("DET002") == 2  # the import and the call
+
+
+def test_det002_scope_excludes_non_deterministic_packages():
+    # repro.analysis is post-processing, not simulation — out of scope
+    assert codes("import time\nt = time.time()\n", module="repro.analysis.x") == []
+
+
+def test_det002_clean_simulated_time():
+    assert codes("def step(clock):\n    return clock.now\n") == []
+
+
+def test_det002_pragma_marks_telemetry_site():
+    src = "import time\nstart = time.perf_counter()  # lint: allow[DET002]\n"
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------- DET003
+
+
+def test_det003_flags_unsorted_json_dumps():
+    assert "DET003" in codes("import json\ns = json.dumps({'b': 1})\n")
+    assert "DET003" in codes(
+        "import json\njson.dump({'b': 1}, fh)\n"
+    )
+    assert "DET003" in codes(
+        "import json\ns = json.dumps(d, sort_keys=False)\n"
+    )
+
+
+def test_det003_allows_sorted_and_opaque_kwargs():
+    assert codes("import json\ns = json.dumps(d, sort_keys=True)\n") == []
+    assert codes("import json\ns = json.dumps(d, **kw)\n") == []
+
+
+def test_det003_pragma_suppresses():
+    assert codes("import json\ns = json.dumps(d)  # lint: allow[DET003]\n") == []
+
+
+# ---------------------------------------------------------------- EXC001
+
+
+def test_exc001_flags_lambda_assemble():
+    src = """
+        from repro.exec.sweeps import SweepPlan
+        plan = SweepPlan(specs=specs, assemble=lambda vs: vs[0])
+    """
+    assert "EXC001" in codes(src, module="repro.experiments.fake")
+
+
+def test_exc001_flags_lambda_and_closure_submit():
+    assert "EXC001" in codes("fut = pool.submit(lambda: 1)\n")
+    src = """
+        def outer(pool):
+            def inner():
+                return 1
+            return pool.submit(inner)
+    """
+    assert "EXC001" in codes(src)
+
+
+def test_exc001_allows_module_level_and_partial():
+    src = """
+        from functools import partial
+
+        def fold(values, seeds):
+            return values
+
+        plan = SweepPlan(specs=specs, assemble=partial(fold, seeds=[1, 2]))
+        fut = pool.submit(fold, 3)
+    """
+    assert codes(src) == []
+
+
+def test_exc001_flags_lambda_inside_partial():
+    src = "from functools import partial\nf = pool.submit(partial(lambda x: x, 1))\n"
+    assert "EXC001" in codes(src)
+
+
+def test_exc001_pragma_suppresses():
+    src = "fut = pool.submit(lambda: 1)  # lint: allow[EXC001]\n"
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------- API001
+
+
+def test_api001_flags_missing_annotations():
+    assert codes("def run(seed):\n    return seed\n", module="repro.exec.fake") == [
+        "API001"
+    ]
+    assert codes(
+        "def run(seed: int):\n    return seed\n", module="repro.core.fake"
+    ) == ["API001"]
+
+
+def test_api001_checks_methods_but_skips_self_and_private():
+    src = """
+        class Scheduler:
+            def run(self, jobs: list) -> list:
+                return jobs
+
+            def _poll(self, x):
+                return x
+    """
+    assert codes(src, module="repro.exec.fake") == []
+    flagged = """
+        class Scheduler:
+            def run(self, jobs) -> list:
+                return jobs
+    """
+    assert codes(flagged, module="repro.exec.fake") == ["API001"]
+
+
+def test_api001_scoped_to_core_and_exec():
+    assert codes("def run(seed):\n    return seed\n", module="repro.sim.fake") == []
+    assert codes("def run(seed):\n    return seed\n", module="repro.net.fake") == []
+
+
+def test_api001_fully_annotated_is_clean():
+    src = """
+        def run(seed: int, *args: int, verbose: bool = False, **kw: object) -> dict:
+            return {}
+    """
+    assert codes(src, module="repro.exec.fake") == []
+
+
+def test_api001_pragma_on_def_line():
+    src = "def run(seed):  # lint: allow[API001]\n    return seed\n"
+    assert codes(src, module="repro.exec.fake") == []
+
+
+# ---------------------------------------------------------------- pragmas
+
+
+def test_star_pragma_allows_every_rule():
+    src = "import random  # lint: allow[*]\n"
+    assert codes(src) == []
+
+
+def test_pragma_with_multiple_codes():
+    # sanity: both rules fire without pragmas
+    fired = codes("import random\nimport time\nt = time.time()\n")
+    assert set(fired) == {"DET001", "DET002"}
+    suppressed = codes(
+        "t = __import__('time').time()  # placeholder\n"
+        "import random  # lint: allow[DET001, DET002]\n"
+    )
+    assert "DET001" not in suppressed
