@@ -80,11 +80,13 @@ class ChurnModel:
                 continue
             if node.online:
                 if draws[idx] < self.leave_prob:
-                    node.online = False
+                    # Route through set_online so the departure also clears
+                    # the node's access-link FIFO horizon.
+                    network.set_online(idx, False)
                     self.stats.departures += 1
             else:
                 if draws[idx] < self.rejoin_prob:
-                    node.online = True
+                    network.set_online(idx, True)
                     self.stats.rejoins += 1
 
     def expected_online_fraction(self) -> float:

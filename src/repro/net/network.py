@@ -112,7 +112,14 @@ class P2PNetwork:
     # -- liveness ------------------------------------------------------------
 
     def set_online(self, index: int, online: bool) -> None:
-        self.node(index).online = online
+        node = self.node(index)
+        node.online = online
+        if not online:
+            # A departing node abandons its access link: in-flight deliveries
+            # are dropped on arrival, so the FIFO horizon they reserved must
+            # not outlive the session — otherwise a rejoining node queues new
+            # traffic behind phantom serialization of messages it never got.
+            self._link_free_at.pop(index, None)
 
     def is_online(self, index: int) -> bool:
         return self.node(index).online
@@ -169,9 +176,16 @@ class P2PNetwork:
         arrival = self.engine.now + self.latency.between(src, dst) + extra_latency
         if self.model_transmission:
             transmit = self.transmission_ms(dst_node.bandwidth_kbps, msg.size_bytes)
-            start = max(arrival, self._link_free_at.get(dst, 0.0))
-            done = start + transmit
-            self._link_free_at[dst] = done
+            if dst_node.online:
+                start = max(arrival, self._link_free_at.get(dst, 0.0))
+                done = start + transmit
+                self._link_free_at[dst] = done
+            else:
+                # Offline destination: the message dies in the network and is
+                # dropped on arrival, so it must not reserve serialization
+                # time on the (absent) access link — otherwise the node
+                # rejoins queued behind messages it never received.
+                done = arrival + transmit
         else:
             done = arrival
         self.engine.schedule(done, lambda: self._deliver(msg), label=category)

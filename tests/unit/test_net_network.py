@@ -131,6 +131,54 @@ def test_transmission_queueing_serializes():
     assert arrivals[1] == pytest.approx(10.0 + 2 * transmit)
 
 
+def test_offline_clears_link_horizon():
+    """A churned-out node must not rejoin behind phantom serialization."""
+    rng = np.random.default_rng(2)
+    net = P2PNetwork(
+        ring_lattice(6, k=1),
+        rng,
+        latency_model=ConstantLatency(10.0),
+        model_transmission=True,
+    )
+    arrivals = []
+    net.register_handler(3, lambda m: arrivals.append(net.engine.now))
+    transmit = net.transmission_ms(net.node(3).bandwidth_kbps, 512)
+    # Pile up a deep FIFO backlog on node 3's access link, then drop it
+    # offline before anything is delivered.
+    for _ in range(10):
+        net.send(0, 3, "lost")
+    net.set_online(3, False)
+    net.run()
+    assert arrivals == []  # offline: every queued delivery was dropped
+    assert 3 not in net._link_free_at
+    # On rejoin, a fresh message serializes only behind itself.
+    net.set_online(3, True)
+    rejoin = net.engine.now
+    net.send(0, 3, "fresh")
+    net.run()
+    assert arrivals == [pytest.approx(rejoin + 10.0 + transmit)]
+
+
+def test_churn_departure_clears_link_horizon():
+    """ChurnModel departures route through set_online's horizon reset."""
+    from repro.net.churn import ChurnModel
+
+    rng = np.random.default_rng(5)
+    net = P2PNetwork(
+        ring_lattice(6, k=1),
+        rng,
+        latency_model=ConstantLatency(10.0),
+        model_transmission=True,
+    )
+    for idx in range(6):
+        net.send(0, idx, "x") if idx != 0 else None
+    assert net._link_free_at
+    churn = ChurnModel(leave_prob=1.0, rejoin_prob=0.0, protected={0})
+    churn.step(net, np.random.default_rng(7))
+    assert churn.stats.departures == 5
+    assert all(idx not in net._link_free_at for idx in range(1, 6))
+
+
 def test_custom_message_size(net):
     msg = net.send(0, 1, "x", size_bytes=2048)
     assert msg.size_bytes == 2048
