@@ -23,6 +23,14 @@ scheduler, content-addressed result cache, resumable run manifests).
 
 from repro._version import __version__
 from repro.core.config import DEFAULT_CONFIG, HiRepConfig
+from repro.core.interface import Outcome, ReputationSystem
+from repro.core.registry import (
+    DEFAULT_REGISTRY,
+    SystemRegistry,
+    build_system,
+    register_system,
+    system_names,
+)
 from repro.core.system import HiRepSystem, TransactionOutcome
 from repro.baselines.voting import PureVotingSystem
 from repro.errors import ReproError
@@ -30,9 +38,16 @@ from repro.errors import ReproError
 __all__ = [
     "__version__",
     "DEFAULT_CONFIG",
+    "DEFAULT_REGISTRY",
     "HiRepConfig",
     "HiRepSystem",
+    "Outcome",
+    "ReputationSystem",
+    "SystemRegistry",
     "TransactionOutcome",
     "PureVotingSystem",
     "ReproError",
+    "build_system",
+    "register_system",
+    "system_names",
 ]

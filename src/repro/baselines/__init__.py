@@ -7,12 +7,14 @@ from repro.baselines.eigentrust import (
     normalize_local_trust,
 )
 from repro.baselines.credibility import CredibilityVotingSystem
+from repro.baselines.gossip import GossipSystem
 from repro.baselines.local import LocalReputationSystem
 from repro.baselines.trustme import TrustMeSystem
 from repro.baselines.voting import PureVotingSystem
 
 __all__ = [
     "CredibilityVotingSystem",
+    "GossipSystem",
     "LocalReputationSystem",
     "BaselineOutcome",
     "BaselineSystem",

@@ -2,60 +2,28 @@
 
 Each baseline runs over a :class:`~repro.core.world.World` derived from the
 same :class:`~repro.core.config.HiRepConfig` (and seed) as the hiREP system
-it is compared against, and records the same three metrics, so experiment
-code can treat hiREP and every baseline uniformly.
+it is compared against, and records the same three metrics through the
+shared :class:`~repro.core.runtime.TransactionRuntime`, so experiment code
+treats hiREP and every baseline uniformly (they all satisfy
+:class:`~repro.core.interface.ReputationSystem`).
 """
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass
-
-import numpy as np
-
 from repro.core.config import HiRepConfig
+from repro.core.interface import Outcome
+from repro.core.runtime import TransactionRuntime, draw_vote
 from repro.core.world import World
-from repro.errors import SimulationError
 from repro.net.latency import LatencyModel
-from repro.sim.metrics import MSETracker, ResponseTimeTracker
 
 __all__ = ["BaselineOutcome", "BaselineSystem", "draw_vote"]
 
-
-@dataclass
-class BaselineOutcome:
-    """Per-transaction record mirroring hiREP's TransactionOutcome."""
-
-    index: int
-    requestor: int
-    provider: int
-    estimate: float
-    truth: float
-    squared_error: float
-    response_time_ms: float
-    messages: int
-    voters: int
+#: Historical alias — baseline outcomes now use the unified kernel record.
+BaselineOutcome = Outcome
 
 
-def draw_vote(
-    honest: bool,
-    truth: float,
-    rng: np.random.Generator,
-    good_range: tuple[float, float],
-    bad_range: tuple[float, float],
-) -> float:
-    """One peer's vote about a subject (§5.2 rating model).
-
-    Honest peers rate consistently with the truth; malicious peers invert.
-    """
-    trustable = truth >= 0.5
-    use_good = trustable if honest else not trustable
-    lo, hi = good_range if use_good else bad_range
-    return float(rng.uniform(lo, hi))
-
-
-class BaselineSystem(abc.ABC):
-    """Base class: world construction, metric plumbing, run loop."""
+class BaselineSystem(TransactionRuntime):
+    """Base class for baselines: world construction over the shared runtime."""
 
     def __init__(
         self,
@@ -63,56 +31,6 @@ class BaselineSystem(abc.ABC):
         *,
         latency_model: LatencyModel | None = None,
     ) -> None:
-        self.config = config or HiRepConfig()
-        self.world = World.from_config(self.config, latency_model)
-        self.network = self.world.network
-        self.topology = self.world.topology
-        self.truth = self.world.truth
+        config = config or HiRepConfig()
+        super().__init__(config, World.from_config(config, latency_model))
         self.malicious = self.world.malicious_peer
-        self.rng = self.world.rng_workload
-        self.mse = MSETracker()
-        self.response_times = ResponseTimeTracker()
-        self.outcomes: list[BaselineOutcome] = []
-        self.transactions_run = 0
-
-    @property
-    def counter(self):
-        return self.network.counter
-
-    def pick_pair(self, requestor: int | None = None) -> tuple[int, int]:
-        online = self.network.online_nodes()
-        if len(online) < 2:
-            raise SimulationError("fewer than two online nodes")
-        if requestor is None:
-            requestor = online[int(self.rng.integers(0, len(online)))]
-        provider = requestor
-        while provider == requestor:
-            provider = online[int(self.rng.integers(0, len(online)))]
-        return requestor, provider
-
-    @abc.abstractmethod
-    def run_transaction(
-        self, requestor: int | None = None, provider: int | None = None
-    ) -> BaselineOutcome:
-        """Execute one transaction cycle."""
-
-    def run(
-        self, transactions: int, requestor: int | None = None
-    ) -> list[BaselineOutcome]:
-        return [self.run_transaction(requestor) for _ in range(transactions)]
-
-    def reset_metrics(self) -> None:
-        self.counter.reset()
-        self.mse.reset()
-        self.response_times.reset()
-        self.outcomes.clear()
-        self.transactions_run = 0
-
-    def _record(self, outcome: BaselineOutcome) -> BaselineOutcome:
-        self.mse.record(outcome.estimate, outcome.truth)
-        if not np.isnan(outcome.response_time_ms):
-            self.response_times.record(outcome.response_time_ms)
-        self.counter.snapshot()
-        self.outcomes.append(outcome)
-        self.transactions_run += 1
-        return outcome

@@ -25,7 +25,7 @@ from repro.core.config import HiRepConfig
 from repro.core.expertise import consistent
 from repro.net.flooding import flood_bfs
 from repro.net.latency import LatencyModel
-from repro.net.messages import Category, DEFAULT_MESSAGE_BYTES
+from repro.net.messages import Category
 
 __all__ = ["CredibilityVotingSystem"]
 
@@ -117,7 +117,7 @@ class CredibilityVotingSystem(BaselineSystem):
             cred[voter] = self.alpha * a_c + (1.0 - self.alpha) * prev
             counts[voter] = counts.get(voter, 0) + 1
 
-        response_time = self._serialize(req, arrivals)
+        response_time = self._serialize_at(req, arrivals)
         outcome = BaselineOutcome(
             index=self.transactions_run,
             requestor=req,
@@ -130,15 +130,3 @@ class CredibilityVotingSystem(BaselineSystem):
             voters=len(votes),
         )
         return self._record(outcome)
-
-    def _serialize(self, req: int, arrivals: list[float]) -> float:
-        if not arrivals:
-            return float("nan")
-        if not self.config.model_transmission:
-            return float(max(arrivals))
-        bandwidth = self.network.node(req).bandwidth_kbps
-        transmit = self.network.transmission_ms(bandwidth, DEFAULT_MESSAGE_BYTES)
-        done = 0.0
-        for arrival in sorted(arrivals):
-            done = max(done, arrival) + transmit
-        return done

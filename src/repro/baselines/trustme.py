@@ -26,7 +26,7 @@ from repro.baselines.base import BaselineOutcome, BaselineSystem, draw_vote
 from repro.core.config import HiRepConfig
 from repro.net.flooding import flood_bfs
 from repro.net.latency import LatencyModel
-from repro.net.messages import Category, DEFAULT_MESSAGE_BYTES
+from repro.net.messages import Category
 
 __all__ = ["TrustMeSystem"]
 
@@ -102,7 +102,7 @@ class TrustMeSystem(BaselineSystem):
             if tha in report_flood.visited:
                 self._stores[tha].setdefault(prov, []).append(reported)
 
-        response_time = self._serialize(req, arrivals)
+        response_time = self._serialize_at(req, arrivals)
         outcome = BaselineOutcome(
             index=self.transactions_run,
             requestor=req,
@@ -121,15 +121,3 @@ class TrustMeSystem(BaselineSystem):
         if not reports:
             return None
         return float(np.mean(reports))
-
-    def _serialize(self, req: int, arrivals: list[float]) -> float:
-        if not arrivals:
-            return float("nan")
-        if not self.config.model_transmission:
-            return float(max(arrivals))
-        bandwidth = self.network.node(req).bandwidth_kbps
-        transmit = self.network.transmission_ms(bandwidth, DEFAULT_MESSAGE_BYTES)
-        done = 0.0
-        for arrival in sorted(arrivals):
-            done = max(done, arrival) + transmit
-        return done

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineOutcome, BaselineSystem, draw_vote
 from repro.net.flooding import flood_bfs
-from repro.net.messages import Category, DEFAULT_MESSAGE_BYTES
+from repro.net.messages import Category
 
 __all__ = ["PureVotingSystem"]
 
@@ -67,7 +67,7 @@ class PureVotingSystem(BaselineSystem):
         self.counter.count(Category.FLOOD_RESPONSE, vote_messages)
 
         estimate = float(np.mean(votes)) if votes else 0.5
-        response_time = self._serialize_at_requestor(req, arrivals)
+        response_time = self._serialize_at(req, arrivals)
         outcome = BaselineOutcome(
             index=self.transactions_run,
             requestor=req,
@@ -80,16 +80,3 @@ class PureVotingSystem(BaselineSystem):
             voters=len(votes),
         )
         return self._record(outcome)
-
-    def _serialize_at_requestor(self, req: int, arrivals: list[float]) -> float:
-        """FIFO-serialize vote arrivals on the requestor's access link."""
-        if not arrivals:
-            return float("nan")
-        if not self.config.model_transmission:
-            return float(max(arrivals))
-        bandwidth = self.network.node(req).bandwidth_kbps
-        transmit = self.network.transmission_ms(bandwidth, DEFAULT_MESSAGE_BYTES)
-        done = 0.0
-        for arrival in sorted(arrivals):
-            done = max(done, arrival) + transmit
-        return done

@@ -4,6 +4,33 @@ from repro.core.agent import AgentStats, ReputationAgent
 from repro.core.agent_list import TrustedAgent, TrustedAgentList
 from repro.core.config import DEFAULT_CONFIG, HiRepConfig, TABLE1_ROWS
 from repro.core.discovery import DiscoveryOutcome, discover_agent_lists
+from repro.core.dispatch import (
+    DispatchRecord,
+    ProtocolDispatcher,
+    RecordingTracer,
+    Tracer,
+)
+from repro.core.interface import Outcome, ReputationSystem
+from repro.core.registry import (
+    DEFAULT_REGISTRY,
+    SystemRegistry,
+    build_system,
+    register_system,
+    system_names,
+)
+from repro.core.runtime import (
+    MetricsPipeline,
+    TransactionRuntime,
+    draw_vote,
+    serialize_arrivals,
+)
+from repro.core.services import (
+    KeyRotationService,
+    MaintenanceService,
+    QueryService,
+    Wiring,
+    build_wiring,
+)
 from repro.core.expertise import ExpertiseTracker, consistent
 from repro.core.messages import (
     AgentListEntry,
@@ -59,4 +86,24 @@ __all__ = [
     "QualityDrivenModel",
     "ReportAverageModel",
     "TrustModel",
+    "DEFAULT_REGISTRY",
+    "DispatchRecord",
+    "KeyRotationService",
+    "MaintenanceService",
+    "MetricsPipeline",
+    "Outcome",
+    "ProtocolDispatcher",
+    "QueryService",
+    "RecordingTracer",
+    "ReputationSystem",
+    "SystemRegistry",
+    "Tracer",
+    "TransactionRuntime",
+    "Wiring",
+    "build_system",
+    "build_wiring",
+    "draw_vote",
+    "register_system",
+    "serialize_arrivals",
+    "system_names",
 ]

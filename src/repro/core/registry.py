@@ -1,0 +1,183 @@
+"""Construction layer: the name-keyed registry of reputation systems.
+
+Every experiment, sweep plan, and example obtains systems through
+:func:`build_system` instead of direct constructor calls (enforced by the
+hirep-lint rule ARC001), which makes the system *kind* a first-class,
+serializable dimension: ``repro.exec`` job specs carry ``system="voting"``
+like any other kwarg, so ``baseline_comparison`` fans out one cacheable
+job per (system, cell).
+
+Builders are registered lazily — the target module is imported only when
+its name is first built — so importing this module stays cheap and free
+of circular imports.
+
+Adding a backend (full recipe in ``docs/architecture.md``)::
+
+    from repro.core.registry import register_system
+
+    @register_system("mytrust", summary="my aggregation scheme")
+    def _build_mytrust(config, **opts):
+        from mypackage.mytrust import MyTrustSystem
+        return MyTrustSystem(config, **opts)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.core.config import HiRepConfig
+    from repro.core.interface import ReputationSystem
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "SystemRegistry",
+    "build_system",
+    "register_system",
+    "system_names",
+]
+
+#: (config, **opts) -> a ReputationSystem implementation.
+SystemBuilder = Callable[..., "ReputationSystem"]
+
+
+class SystemRegistry:
+    """Name → builder registry for reputation systems."""
+
+    def __init__(self) -> None:
+        self._builders: dict[str, SystemBuilder] = {}
+        self._summaries: dict[str, str] = {}
+
+    def register(
+        self, name: str, builder: SystemBuilder, *, summary: str = ""
+    ) -> None:
+        if name in self._builders:
+            raise ConfigError(f"system {name!r} already registered")
+        self._builders[name] = builder
+        self._summaries[name] = summary
+
+    def names(self) -> list[str]:
+        """Registered system names, in registration order."""
+        return list(self._builders)
+
+    def summary(self, name: str) -> str:
+        self._require(name)
+        return self._summaries[name]
+
+    def build(
+        self,
+        name: str,
+        config: "HiRepConfig | None" = None,
+        **opts: object,
+    ) -> "ReputationSystem":
+        """Construct the system registered as ``name``.
+
+        ``config`` and any keyword options are passed through to the
+        builder (e.g. ``build_system("hirep", cfg, churn=model)``).
+        """
+        self._require(name)
+        return self._builders[name](config, **opts)
+
+    def _require(self, name: str) -> None:
+        if name not in self._builders:
+            known = ", ".join(self.names())
+            raise ConfigError(f"unknown system {name!r} (known: {known})")
+
+
+#: The process-wide registry :func:`build_system` consults.
+DEFAULT_REGISTRY = SystemRegistry()
+
+
+def register_system(
+    name: str, *, summary: str = "", registry: SystemRegistry | None = None
+) -> Callable[[SystemBuilder], SystemBuilder]:
+    """Decorator: register ``name`` in ``registry`` (default: process-wide)."""
+
+    def deco(builder: SystemBuilder) -> SystemBuilder:
+        (registry or DEFAULT_REGISTRY).register(name, builder, summary=summary)
+        return builder
+
+    return deco
+
+
+def build_system(
+    name: str, config: "HiRepConfig | None" = None, **opts: object
+) -> "ReputationSystem":
+    """Build a registered reputation system by name (the one front door)."""
+    return DEFAULT_REGISTRY.build(name, config, **opts)
+
+
+def system_names() -> list[str]:
+    """Every name :func:`build_system` accepts."""
+    return DEFAULT_REGISTRY.names()
+
+
+# ---------------------------------------------------------------------------
+# Bundled systems.  Imports happen inside the builders so constructing the
+# registry never drags in the full protocol stack (and cannot go circular).
+# ---------------------------------------------------------------------------
+
+
+@register_system("hirep", summary="hiREP: hierarchical reputation agents (the paper)")
+def _build_hirep(config: "HiRepConfig | None", **opts: object) -> "ReputationSystem":
+    from repro.core.system import HiRepSystem
+
+    return HiRepSystem(config, **opts)
+
+
+@register_system("voting", summary="pure flooding poll, votes weighted equally (§5.2)")
+def _build_voting(config: "HiRepConfig | None", **opts: object) -> "ReputationSystem":
+    from repro.baselines.voting import PureVotingSystem
+
+    return PureVotingSystem(config, **opts)
+
+
+@register_system(
+    "credibility", summary="flooding poll with per-voter credibility EWMA (P2PREP)"
+)
+def _build_credibility(
+    config: "HiRepConfig | None", **opts: object
+) -> "ReputationSystem":
+    from repro.baselines.credibility import CredibilityVotingSystem
+
+    return CredibilityVotingSystem(config, **opts)
+
+
+@register_system(
+    "trustme", summary="broadcast queries to random trust-holding agents (TrustMe)"
+)
+def _build_trustme(config: "HiRepConfig | None", **opts: object) -> "ReputationSystem":
+    from repro.baselines.trustme import TrustMeSystem
+
+    return TrustMeSystem(config, **opts)
+
+
+@register_system(
+    "local", summary="first-hand (plus friend-set) history only, zero messages"
+)
+def _build_local(config: "HiRepConfig | None", **opts: object) -> "ReputationSystem":
+    from repro.baselines.local import LocalReputationSystem
+
+    return LocalReputationSystem(config, **opts)
+
+
+@register_system(
+    "eigentrust", summary="global trust by power iteration over a Chord DHT"
+)
+def _build_eigentrust(
+    config: "HiRepConfig | None", **opts: object
+) -> "ReputationSystem":
+    from repro.baselines.eigentrust import EigenTrustSystem
+
+    return EigenTrustSystem(config, **opts)
+
+
+@register_system(
+    "gossip", summary="randomized gossip poll, votes discounted by relay distance"
+)
+def _build_gossip(config: "HiRepConfig | None", **opts: object) -> "ReputationSystem":
+    from repro.baselines.gossip import GossipSystem
+
+    return GossipSystem(config, **opts)

@@ -1,0 +1,201 @@
+"""Shared transaction runtime — the kernel's common run loop and metrics.
+
+Before the kernel refactor, hiREP (``repro.core.system``) and the baseline
+tree (``repro.baselines.base``) each carried their own copy of the
+pick-pair logic, the ``run`` loop, the metric collectors, the §5.2 rating
+model and the FIFO arrival-serialization helper.  This module is the
+single home for all of it:
+
+* :class:`MetricsPipeline` — the three paper metrics (traffic, MSE,
+  response time) plus the per-transaction :class:`~repro.core.interface.Outcome`
+  log, recorded identically for every system;
+* :class:`TransactionRuntime` — base class every reputation system
+  extends: workload pair selection, the batch ``run`` loop,
+  ``reset_metrics``, and outcome recording;
+* :func:`draw_vote` — the §5.2 rating model (honest peers rate with the
+  truth, malicious peers invert);
+* :func:`serialize_arrivals` — FIFO serialization of response arrivals on
+  the requestor's access link (shared by every flooding/gossip system).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import HiRepConfig
+from repro.core.interface import Outcome
+from repro.core.world import World
+from repro.errors import SimulationError
+from repro.net.messages import DEFAULT_MESSAGE_BYTES
+from repro.net.network import P2PNetwork
+from repro.sim.metrics import MessageCounter, MSETracker, ResponseTimeTracker
+
+__all__ = [
+    "MetricsPipeline",
+    "TransactionRuntime",
+    "draw_vote",
+    "serialize_arrivals",
+]
+
+
+def draw_vote(
+    honest: bool,
+    truth: float,
+    rng: np.random.Generator,
+    good_range: tuple[float, float],
+    bad_range: tuple[float, float],
+) -> float:
+    """One peer's vote about a subject (§5.2 rating model).
+
+    Honest peers rate consistently with the truth; malicious peers invert.
+    """
+    trustable = truth >= 0.5
+    use_good = trustable if honest else not trustable
+    lo, hi = good_range if use_good else bad_range
+    return float(rng.uniform(lo, hi))
+
+
+def serialize_arrivals(
+    network: P2PNetwork,
+    req: int,
+    arrivals: list[float],
+    *,
+    model_transmission: bool = True,
+) -> float:
+    """FIFO-serialize response arrivals on the requestor's access link.
+
+    Returns the completion time of the last response (NaN when nothing
+    arrived — the query never completes).
+    """
+    if not arrivals:
+        return float("nan")
+    if not model_transmission:
+        return float(max(arrivals))
+    bandwidth = network.node(req).bandwidth_kbps
+    transmit = network.transmission_ms(bandwidth, DEFAULT_MESSAGE_BYTES)
+    done = 0.0
+    for arrival in sorted(arrivals):
+        done = max(done, arrival) + transmit
+    return done
+
+
+class MetricsPipeline:
+    """The paper's three metrics plus the per-transaction outcome log.
+
+    One instance per system; every system records through
+    :meth:`record`, so accuracy/latency bookkeeping can never drift
+    between hiREP and a baseline.
+    """
+
+    def __init__(self, counter: MessageCounter) -> None:
+        self.counter = counter
+        self.mse = MSETracker()
+        self.response_times = ResponseTimeTracker()
+        self.outcomes: list[Outcome] = []
+        self.transactions_run = 0
+
+    def record(self, outcome: Outcome) -> Outcome:
+        """Fold one finished transaction into every collector."""
+        self.mse.record(outcome.estimate, outcome.truth)
+        if not np.isnan(outcome.response_time_ms):
+            self.response_times.record(outcome.response_time_ms)
+        self.counter.snapshot()
+        self.outcomes.append(outcome)
+        self.transactions_run += 1
+        return outcome
+
+    def reset(self) -> None:
+        """Zero every collector (typically right after bootstrap)."""
+        self.counter.reset()
+        self.mse.reset()
+        self.response_times.reset()
+        self.outcomes.clear()
+        self.transactions_run = 0
+
+
+class TransactionRuntime:
+    """Base class for every reputation system: workload + metrics loop.
+
+    Subclasses implement :meth:`run_transaction`; everything else — pair
+    selection, the batch loop, metric plumbing — lives here once.
+    """
+
+    def __init__(
+        self, config: HiRepConfig, world: World
+    ) -> None:
+        self.config = config
+        self.world = world
+        self.network = world.network
+        self.topology = world.topology
+        self.truth = world.truth
+        #: Workload stream: pair selection (and, for baselines, votes).
+        self.rng = world.rng_workload
+        self.metrics = MetricsPipeline(self.network.counter)
+
+    # -- metric attribute surface (kept flat for experiment code) ----------
+
+    @property
+    def counter(self) -> MessageCounter:
+        return self.network.counter
+
+    @property
+    def mse(self) -> MSETracker:
+        return self.metrics.mse
+
+    @property
+    def response_times(self) -> ResponseTimeTracker:
+        return self.metrics.response_times
+
+    @property
+    def outcomes(self) -> list[Outcome]:
+        return self.metrics.outcomes
+
+    @property
+    def transactions_run(self) -> int:
+        return self.metrics.transactions_run
+
+    @transactions_run.setter
+    def transactions_run(self, value: int) -> None:
+        self.metrics.transactions_run = value
+
+    # -- workload ----------------------------------------------------------
+
+    def pick_pair(self, requestor: int | None = None) -> tuple[int, int]:
+        """Pick a (requestor, provider) pair of distinct online nodes."""
+        online = self.network.online_nodes()
+        if len(online) < 2:
+            raise SimulationError("fewer than two online nodes")
+        if requestor is None:
+            requestor = online[int(self.rng.integers(0, len(online)))]
+        provider = requestor
+        while provider == requestor:
+            provider = online[int(self.rng.integers(0, len(online)))]
+        return requestor, provider
+
+    def run_transaction(
+        self, requestor: int | None = None, provider: int | None = None
+    ) -> Outcome:
+        """Execute one transaction cycle."""
+        raise NotImplementedError
+
+    def run(
+        self, transactions: int, requestor: int | None = None
+    ) -> list[Outcome]:
+        """Run a batch of transactions (fixed requestor when given)."""
+        return [self.run_transaction(requestor) for _ in range(transactions)]
+
+    def reset_metrics(self) -> None:
+        """Zero every collector (typically right after bootstrap)."""
+        self.metrics.reset()
+
+    def _record(self, outcome: Outcome) -> Outcome:
+        return self.metrics.record(outcome)
+
+    def _serialize_at(self, req: int, arrivals: list[float]) -> float:
+        """FIFO response serialization at ``req`` under this config."""
+        return serialize_arrivals(
+            self.network,
+            req,
+            arrivals,
+            model_transmission=self.config.model_transmission,
+        )

@@ -1,0 +1,398 @@
+"""Service layer: the composable pieces of a hiREP deployment.
+
+``HiRepSystem`` used to be a 500-line god object; the kernel splits it
+into services with one responsibility each, wired over shared state:
+
+* :func:`build_wiring` — the world/wiring builder: key material, peers,
+  relay registry, onion router, reputation agents, and the
+  :class:`~repro.core.dispatch.ProtocolDispatcher` routing table;
+* :class:`MaintenanceService` — §3.4.1 bootstrap and §3.4.3 list
+  maintenance (backup probes, token/TTL rediscovery), plus the
+  discovery hook the recommendation-manipulation attacks use;
+* :class:`QueryService` — §3.6 trust query + transaction settlement;
+* :class:`KeyRotationService` — §3.5 periodic key update.
+
+``HiRepSystem`` (:mod:`repro.core.system`) survives as a thin façade
+delegating to these, so existing callers keep working.
+
+RNG discipline: construction order here is frozen — every generator draw
+happens in exactly the order the pre-kernel constructor made it, so fixed
+seeds reproduce the pre-refactor runs bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.agent import ReputationAgent
+from repro.core.config import HiRepConfig
+from repro.core.discovery import discover_agent_lists
+from repro.core.dispatch import ProtocolDispatcher, Tracer
+from repro.core.messages import (
+    AgentListEntry,
+    KeyUpdateAnnouncement,
+    TransactionReport,
+    TrustValueRequest,
+    TrustValueResponse,
+)
+from repro.core.peer import HiRepPeer, QueryResult
+from repro.core.ranking import rank_within_list, select_agents
+from repro.core.trust_models import QualityDrivenModel, TrustModel
+from repro.core.world import World
+from repro.crypto.hashing import NodeID
+from repro.crypto.keys import PeerKeys
+from repro.crypto.nonce import NonceRegistry
+from repro.errors import NoTrustedAgentsError, ProtocolError
+from repro.net.messages import Category
+from repro.onion.handshake import HandshakeResponder
+from repro.onion.relay import RelayRegistry
+from repro.onion.routing import OnionRouter
+from repro.sim.rng import spawn
+
+__all__ = [
+    "DiscoveryHook",
+    "KeyRotationService",
+    "MaintenanceService",
+    "QueryService",
+    "Wiring",
+    "build_wiring",
+]
+
+#: (good, rng) -> TrustModel — per-agent trust-model override.
+ModelFactory = Callable[[bool, np.random.Generator], TrustModel]
+
+#: Attack hook: node index -> forged trusted-agent list (None = honest).
+DiscoveryHook = Callable[[int], "list[AgentListEntry] | None"]
+
+
+@dataclass
+class Wiring:
+    """Everything :func:`build_wiring` constructs, by name."""
+
+    backend: object
+    router: OnionRouter
+    relay_registry: RelayRegistry
+    dispatcher: ProtocolDispatcher
+    peers: list[HiRepPeer]
+    agents: dict[int, ReputationAgent]
+    agent_quality: dict[int, bool]
+    truth_by_id: dict[NodeID, float] = field(default_factory=dict)
+
+    def relay_pool_of(self, world: World) -> list[int]:
+        return world.network.online_nodes()
+
+
+def build_wiring(
+    config: HiRepConfig,
+    world: World,
+    backend: object,
+    *,
+    model_factory: ModelFactory | None = None,
+    tracer: Tracer | None = None,
+) -> Wiring:
+    """Build key material, peers, agents, and the protocol routing table."""
+    network = world.network
+    router = OnionRouter(network, backend)
+    relay_registry = RelayRegistry()
+    dispatcher = ProtocolDispatcher(tracer=tracer)
+
+    # Key material and peers.  Per-peer generators are spawned up front so
+    # peer construction order cannot perturb other streams.
+    peers: list[HiRepPeer] = []
+    truth_by_id: dict[NodeID, float] = {}
+    peer_rngs = spawn(world.rng_peers, config.network_size)
+    for ip in range(config.network_size):
+        keys = PeerKeys.generate(backend, world.rng_keys)
+        peer = HiRepPeer(
+            ip=ip,
+            keys=keys,
+            backend=backend,
+            config=config,
+            network=network,
+            router=router,
+            relay_registry=relay_registry,
+            rng=peer_rngs[ip],
+        )
+        peers.append(peer)
+        truth_by_id[keys.node_id] = float(world.truth[ip])
+        relay_registry.register(
+            ip,
+            HandshakeResponder(
+                backend, keys.ap, keys.ar, ip, NonceRegistry(peer_rngs[ip])
+            ),
+        )
+        router.register_node(ip, keys.ar, dispatcher.endpoint(ip))
+        network.register_handler(ip, router.handle)
+
+    # Reputation agents: agent-capable nodes, split good/poor (§5.2).
+    agents: dict[int, ReputationAgent] = {}
+    factory = model_factory or (
+        lambda good, rng: QualityDrivenModel(
+            good, config.good_rating, config.bad_rating
+        )
+    )
+    capable = network.agent_capable_nodes()
+    poor_count = int(round(config.poor_agent_fraction * len(capable)))
+    poor_set = set(
+        int(i)
+        for i in world.rng_agents.choice(
+            capable, size=min(poor_count, len(capable)), replace=False
+        )
+    )
+    agent_rngs = spawn(world.rng_agents, len(capable))
+    for agent_rng, ip in zip(agent_rngs, capable):
+        good = ip not in poor_set
+        model: TrustModel = factory(good, agent_rng)
+        agents[ip] = ReputationAgent(
+            ip=ip,
+            keys=peers[ip].keys,
+            backend=backend,
+            model=model,
+            rng=agent_rng,
+            truth_oracle=lambda node_id: truth_by_id.get(node_id, 0.5),
+        )
+    agent_quality = {ip: ip not in poor_set for ip in capable}
+
+    wiring = Wiring(
+        backend=backend,
+        router=router,
+        relay_registry=relay_registry,
+        dispatcher=dispatcher,
+        peers=peers,
+        agents=agents,
+        agent_quality=agent_quality,
+        truth_by_id=truth_by_id,
+    )
+    _register_routes(dispatcher, wiring, network)
+    return wiring
+
+
+def _register_routes(
+    dispatcher: ProtocolDispatcher, wiring: Wiring, network
+) -> None:
+    """The hiREP protocol routing table (§3.6 message flow).
+
+    The "agent" role is consulted first so agent-only traffic at non-agent
+    nodes drops (a deployed non-agent ignores it); trust responses are
+    peer traffic and route at every node.
+    """
+    dispatcher.define_role("agent", lambda ip: ip in wiring.agents)
+    dispatcher.define_role("peer", lambda ip: True)
+
+    def on_trust_request(ip: int, message: TrustValueRequest, sent_at: float) -> None:
+        agent = wiring.agents[ip]
+        fresh = wiring.peers[ip].fresh_onion(network.online_nodes())
+        try:
+            response = agent.handle_trust_request(message, fresh)
+        except ProtocolError:
+            # Sealed to a key this agent no longer holds (e.g. the
+            # requestor has a stale SP after a key rotation) or
+            # malformed: drop, as a deployed agent would.
+            return
+        wiring.router.send(
+            ip,
+            message.requestor_onion,
+            response,
+            category=Category.TRUST_RESPONSE,
+        )
+
+    def on_trust_response(ip: int, message: TrustValueResponse, sent_at: float) -> None:
+        wiring.peers[ip].on_onion_message(message, sent_at)
+
+    def on_report(ip: int, message: TransactionReport, sent_at: float) -> None:
+        wiring.agents[ip].handle_report(message)
+
+    def on_key_update(ip: int, message: KeyUpdateAnnouncement, sent_at: float) -> None:
+        wiring.agents[ip].handle_key_update(message)
+
+    dispatcher.register("agent", TrustValueRequest, on_trust_request)
+    dispatcher.register("agent", TransactionReport, on_report)
+    dispatcher.register("agent", KeyUpdateAnnouncement, on_key_update)
+    dispatcher.register("peer", TrustValueResponse, on_trust_response)
+
+
+class MaintenanceService:
+    """§3.4.1 bootstrap + §3.4.3 trusted-agent-list maintenance."""
+
+    def __init__(
+        self,
+        config: HiRepConfig,
+        world: World,
+        wiring: Wiring,
+    ) -> None:
+        self.config = config
+        self.world = world
+        self.wiring = wiring
+        self.network = world.network
+        self.bootstrapped = False
+        #: Attack hook (repro.attacks): when set, discovery consults it
+        #: first so compromised nodes can return forged trusted-agent
+        #: lists (§4.2.1's recommendation-manipulation attack).
+        self.discovery_list_hook: DiscoveryHook | None = None
+
+    def self_entry_for(self, ip: int) -> AgentListEntry | None:
+        """A reputation agent's self-advertisement during discovery."""
+        if ip not in self.wiring.agents:
+            return None
+        peer = self.wiring.peers[ip]
+        onion = peer.ensure_onion(self.network.online_nodes())
+        return AgentListEntry(
+            weight=self.config.initial_expertise,
+            agent_node_id=peer.node_id,
+            agent_onion=onion,
+            agent_sp=peer.keys.sp,
+            agent_ip=ip,
+        )
+
+    def discovery_list_for(self, node: int) -> list[AgentListEntry] | None:
+        """Node ``node``'s trusted-agent list as seen by discovery.
+
+        Compromised nodes (``discovery_list_hook``) may return forged lists.
+        """
+        if self.discovery_list_hook is not None:
+            forged = self.discovery_list_hook(node)
+            if forged is not None:
+                return forged
+        return self.wiring.peers[node].agent_list.as_entries() or None
+
+    def discover_for(self, peer: HiRepPeer, wanted: int) -> int:
+        """One discovery round for ``peer``; rank, select, adopt. Returns adds."""
+        cfg = self.config
+        counter = self.network.counter
+        outcome = discover_agent_lists(
+            self.world.topology,
+            peer.ip,
+            cfg.tokens,
+            cfg.ttl,
+            rng=peer.rng,
+            get_list=self.discovery_list_for,
+            get_self_entry=self.self_entry_for,
+            online=self.network.is_online,
+        )
+        counter.count(Category.AGENT_DISCOVERY, outcome.request_messages)
+        counter.count(Category.AGENT_DISCOVERY_REPLY, outcome.reply_messages)
+        per_list_ranks = []
+        candidates: dict[NodeID, AgentListEntry] = {}
+        for reply in outcome.replies:
+            entries = list(reply.entries)
+            if reply.self_entry is not None:
+                entries.append(reply.self_entry)
+            per_list_ranks.append(rank_within_list(entries, wanted))
+            for entry in entries:
+                candidates.setdefault(entry.agent_node_id, entry)
+        if not candidates:
+            return 0
+        selected = select_agents(
+            list(candidates.values()), per_list_ranks, wanted, peer.rng
+        )
+        return peer.adopt_entries(selected)
+
+    def bootstrap(self, rounds: int = 2) -> None:
+        """Give every peer an initial trusted-agent list.
+
+        Two rounds by default: the first seeds from agent self-entries, the
+        second propagates the now-existing lists so peers reach capacity —
+        "the reputation list initialization is executed only once for each
+        peer" (§4.1), so experiments reset the message counter afterwards.
+        """
+        if self.bootstrapped:
+            return
+        peers = self.wiring.peers
+        order = np.arange(len(peers))
+        for _ in range(rounds):
+            self.world.rng_workload.shuffle(order)
+            for i in order:
+                peer = peers[int(i)]
+                if not self.network.is_online(peer.ip):
+                    continue
+                wanted = peer.agent_list.capacity - len(peer.agent_list)
+                if wanted > 0:
+                    self.discover_for(peer, wanted)
+        self.bootstrapped = True
+
+    def maintain(self, peer: HiRepPeer) -> None:
+        """§3.4.3 list maintenance: probe backups, rediscover if short."""
+        if not peer.agent_list.needs_refill(self.config.refill_threshold):
+            return
+        peer.probe_backups()
+        if peer.agent_list.needs_refill(self.config.refill_threshold):
+            wanted = peer.agent_list.capacity - len(peer.agent_list)
+            self.discover_for(peer, wanted)
+
+
+class QueryService:
+    """§3.6 trust query + settlement over the DES network."""
+
+    def __init__(self, world: World, wiring: Wiring) -> None:
+        self.world = world
+        self.wiring = wiring
+        self.network = world.network
+
+    def truth_key(self, ip: int) -> NodeID:
+        """The nodeID of peer ``ip`` (what trust queries are keyed by)."""
+        return self.wiring.peers[ip].node_id
+
+    def execute(self, req: int, prov: int) -> QueryResult:
+        """Run one trust query from ``req`` about ``prov``, then settle.
+
+        When the requestor has no trusted agents this round the query is
+        impossible: the blind prior (0.5) is returned with no settlement,
+        matching the pre-kernel fallback.
+        """
+        peer = self.wiring.peers[req]
+        relay_pool = self.network.online_nodes()
+        try:
+            peer.start_query(self.truth_key(prov), relay_pool)
+        except NoTrustedAgentsError:
+            return QueryResult(
+                subject=self.truth_key(prov),
+                estimate=0.5,
+                responses=[],
+                response_time_ms=float("nan"),
+                answered=0,
+                asked=0,
+            )
+        self.network.run()
+        result = peer.finish_query()
+        truth = float(self.world.truth[prov])
+        peer.settle_transaction(result, truth, self.network.online_nodes())
+        self.network.run()
+        return result
+
+
+class KeyRotationService:
+    """§3.5 periodic key update: rotate a peer's keypairs and rewire."""
+
+    def __init__(self, world: World, wiring: Wiring) -> None:
+        self.world = world
+        self.wiring = wiring
+        self.network = world.network
+
+    def rotate(self, ip: int) -> PeerKeys:
+        """Rotate peer ``ip``'s keypairs and propagate the update.
+
+        Protocol order matters: the announcement is signed with the *old*
+        SR and travels first; only then does the peer adopt the new
+        material and the simulation wiring (onion router key, handshake
+        responder, truth oracle) follow the identity.
+        """
+        wiring = self.wiring
+        peer = wiring.peers[ip]
+        old_node_id = peer.node_id
+        new_keys = peer.keys.rotated(wiring.backend, self.world.rng_keys)
+        peer.announce_key_update(new_keys)
+        self.network.run()  # deliver announcements under the old identity
+        peer.adopt_keys(new_keys)
+        wiring.router.register_node(ip, new_keys.ar)
+        wiring.relay_registry.register(
+            ip,
+            HandshakeResponder(
+                wiring.backend, new_keys.ap, new_keys.ar, ip, NonceRegistry(peer.rng)
+            ),
+        )
+        truth = wiring.truth_by_id.pop(old_node_id)
+        wiring.truth_by_id[new_keys.node_id] = truth
+        return new_keys

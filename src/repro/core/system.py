@@ -1,55 +1,48 @@
-"""System orchestrator: builds a complete hiREP deployment and runs the
+"""System façade: builds a complete hiREP deployment and runs the
 paper's transaction workload over it (§3.6, §5.2).
 
-One :class:`HiRepSystem` owns the network, every peer, every reputation
-agent, the onion router, and the metric collectors.  A *transaction* is the
-paper's full cycle:
+:class:`HiRepSystem` is the thin façade over the kernel's layers (see
+``docs/architecture.md``): construction builds a
+:class:`~repro.core.world.World` and the protocol wiring
+(:func:`~repro.core.services.build_wiring`, which owns the
+:class:`~repro.core.dispatch.ProtocolDispatcher` routing table), and the
+transaction cycle composes the services:
 
 1. churn step (optional);
-2. requestor list maintenance (backup probes + token/TTL discovery);
-3. trust-value query to the requestor's trusted agents through onions;
-4. estimate → download → observed outcome (the provider's ground truth);
-5. expertise updates, hirep-θ eviction, signed transaction reports.
+2. requestor list maintenance (:class:`~repro.core.services.MaintenanceService`);
+3. trust query + settlement (:class:`~repro.core.services.QueryService`);
+4. metric recording (:class:`~repro.core.runtime.MetricsPipeline`).
 
-Every message of steps 3–5 travels hop-by-hop through the DES engine, so
-traffic counts (Fig. 5), accuracy (Figs. 6–7) and response times (Fig. 8)
-all fall out of the same run.
+Every message travels hop-by-hop through the DES engine, so traffic
+counts (Fig. 5), accuracy (Figs. 6–7) and response times (Fig. 8) all
+fall out of the same run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.agent import ReputationAgent
 from repro.core.config import HiRepConfig
-from repro.core.discovery import discover_agent_lists
-from repro.core.messages import (
-    AgentListEntry,
-    KeyUpdateAnnouncement,
-    TransactionReport,
-    TrustValueRequest,
-    TrustValueResponse,
+from repro.core.dispatch import Tracer
+from repro.core.interface import Outcome
+from repro.core.messages import AgentListEntry
+from repro.core.peer import HiRepPeer
+from repro.core.runtime import TransactionRuntime
+from repro.core.services import (
+    DiscoveryHook,
+    KeyRotationService,
+    MaintenanceService,
+    ModelFactory,
+    QueryService,
+    build_wiring,
 )
-from repro.core.peer import HiRepPeer, QueryResult
-from repro.core.ranking import rank_within_list, select_agents
-from repro.core.trust_models import QualityDrivenModel, TrustModel
 from repro.core.world import World
 from repro.crypto.backend import get_backend
 from repro.crypto.hashing import NodeID
 from repro.crypto.keys import PeerKeys
-from repro.crypto.nonce import NonceRegistry
-from repro.errors import NoTrustedAgentsError, ProtocolError, SimulationError
+from repro.errors import SimulationError
 from repro.net.churn import ChurnModel
 from repro.net.faults import FaultPlane
 from repro.net.latency import LatencyModel
 from repro.net.messages import Category
-from repro.onion.handshake import HandshakeResponder
-from repro.onion.relay import RelayRegistry
-from repro.onion.routing import OnionRouter
-from repro.sim.metrics import MessageCounter, MSETracker, ResponseTimeTracker
-from repro.sim.rng import spawn
 
 __all__ = ["HiRepSystem", "TransactionOutcome"]
 
@@ -60,25 +53,11 @@ TRUST_TRAFFIC_CATEGORIES = (
     Category.TRANSACTION_REPORT,
 )
 
-
-@dataclass
-class TransactionOutcome:
-    """Everything an experiment wants to know about one transaction."""
-
-    index: int
-    requestor: int
-    provider: int
-    estimate: float
-    truth: float
-    squared_error: float
-    response_time_ms: float
-    trust_messages: int
-    total_messages: int
-    answered: int
-    asked: int
+#: Historical alias — hiREP outcomes now use the unified kernel record.
+TransactionOutcome = Outcome
 
 
-class HiRepSystem:
+class HiRepSystem(TransactionRuntime):
     """A full hiREP deployment over a simulated unstructured P2P network."""
 
     def __init__(
@@ -87,9 +66,10 @@ class HiRepSystem:
         *,
         latency_model: LatencyModel | None = None,
         churn: ChurnModel | None = None,
-        model_factory=None,
+        model_factory: ModelFactory | None = None,
         topology=None,
         faults: FaultPlane | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         """Build the network, keys, peers, agents, and wiring.
 
@@ -107,256 +87,94 @@ class HiRepSystem:
             the network before any traffic flows.  The plane draws from
             its own seeded generator, so passing ``None`` reproduces the
             reliable-network runs bit for bit.
+        tracer:
+            Optional :class:`~repro.core.dispatch.Tracer` observing every
+            dispatched protocol message (see ``docs/architecture.md``).
         """
-        self.config = config or HiRepConfig()
-        cfg = self.config
-        self.world = World.from_config(cfg, latency_model, topology=topology)
-        self._rng_keys = self.world.rng_keys
-        self._rng_agents = self.world.rng_agents
-        self._rng_workload = self.world.rng_workload
-        self._rng_peers = self.world.rng_peers
-
-        self.backend = get_backend(cfg.crypto_backend)
-        self.topology = self.world.topology
-        self.network = self.world.network
+        config = config or HiRepConfig()
+        world = World.from_config(config, latency_model, topology=topology)
+        super().__init__(config, world)
         self.churn = churn
         self.faults = faults
         if faults is not None:
             faults.install(self.network)
-        self.router = OnionRouter(self.network, self.backend)
-        self.relay_registry = RelayRegistry()
 
-        # Ground truth: each peer is trusted (1) or untrusted (0) (§5.2).
-        self.truth = self.world.truth
-
-        # Key material and peers.
-        self.peers: list[HiRepPeer] = []
-        self.truth_by_id: dict[NodeID, float] = {}
-        peer_rngs = spawn(self._rng_peers, cfg.network_size)
-        for ip in range(cfg.network_size):
-            keys = PeerKeys.generate(self.backend, self._rng_keys)
-            peer = HiRepPeer(
-                ip=ip,
-                keys=keys,
-                backend=self.backend,
-                config=cfg,
-                network=self.network,
-                router=self.router,
-                relay_registry=self.relay_registry,
-                rng=peer_rngs[ip],
-            )
-            self.peers.append(peer)
-            self.truth_by_id[keys.node_id] = float(self.truth[ip])
-            self.relay_registry.register(
-                ip,
-                HandshakeResponder(
-                    self.backend, keys.ap, keys.ar, ip, NonceRegistry(peer_rngs[ip])
-                ),
-            )
-            self.router.register_node(ip, keys.ar, self._make_endpoint(ip))
-            self.network.register_handler(ip, self.router.handle)
-
-        # Reputation agents: agent-capable nodes, split good/poor (§5.2).
-        self.agents: dict[int, ReputationAgent] = {}
-        factory = model_factory or (
-            lambda good, rng: QualityDrivenModel(
-                good, cfg.good_rating, cfg.bad_rating
-            )
+        self.backend = get_backend(config.crypto_backend)
+        self.wiring = build_wiring(
+            config,
+            world,
+            self.backend,
+            model_factory=model_factory,
+            tracer=tracer,
         )
-        capable = self.network.agent_capable_nodes()
-        poor_count = int(round(cfg.poor_agent_fraction * len(capable)))
-        poor_set = set(
-            int(i)
-            for i in self._rng_agents.choice(
-                capable, size=min(poor_count, len(capable)), replace=False
-            )
-        )
-        agent_rngs = spawn(self._rng_agents, len(capable))
-        for agent_rng, ip in zip(agent_rngs, capable):
-            good = ip not in poor_set
-            model: TrustModel = factory(good, agent_rng)
-            self.agents[ip] = ReputationAgent(
-                ip=ip,
-                keys=self.peers[ip].keys,
-                backend=self.backend,
-                model=model,
-                rng=agent_rng,
-                truth_oracle=lambda node_id: self.truth_by_id.get(node_id, 0.5),
-            )
-        self.agent_quality: dict[int, bool] = {
-            ip: ip not in poor_set for ip in capable
-        }
+        self.router = self.wiring.router
+        self.relay_registry = self.wiring.relay_registry
+        self.dispatcher = self.wiring.dispatcher
+        self.peers = self.wiring.peers
+        self.agents = self.wiring.agents
+        self.agent_quality = self.wiring.agent_quality
+        self.truth_by_id = self.wiring.truth_by_id
 
-        # Metrics.
-        self.mse = MSETracker()
-        self.response_times = ResponseTimeTracker()
-        self.transactions_run = 0
-        self.outcomes: list[TransactionOutcome] = []
-        self._bootstrapped = False
-
-        # Attack hook (repro.attacks): when set, discovery consults it first
-        # so compromised nodes can return forged trusted-agent lists
-        # (§4.2.1's recommendation-manipulation attack).
-        self.discovery_list_hook = None
+        self.maintenance = MaintenanceService(config, world, self.wiring)
+        self.queries = QueryService(world, self.wiring)
+        self.key_rotation = KeyRotationService(world, self.wiring)
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
 
     def _make_endpoint(self, ip: int):
-        """Dispatch onion-delivered protocol messages at node ``ip``."""
+        """The dispatch entry point for node ``ip`` (see repro.core.dispatch).
 
-        def endpoint(message, sent_at: float) -> None:
-            if isinstance(message, TrustValueRequest):
-                agent = self.agents.get(ip)
-                if agent is None:
-                    return  # not serving as an agent: drop
-                fresh = self.peers[ip].fresh_onion(self.relay_pool())
-                try:
-                    response = agent.handle_trust_request(message, fresh)
-                except ProtocolError:
-                    # Sealed to a key this agent no longer holds (e.g. the
-                    # requestor has a stale SP after a key rotation) or
-                    # malformed: drop, as a deployed agent would.
-                    return
-                self.router.send(
-                    ip,
-                    message.requestor_onion,
-                    response,
-                    category=Category.TRUST_RESPONSE,
-                )
-            elif isinstance(message, TrustValueResponse):
-                self.peers[ip].on_onion_message(message, sent_at)
-            elif isinstance(message, TransactionReport):
-                agent = self.agents.get(ip)
-                if agent is not None:
-                    agent.handle_report(message)
-            elif isinstance(message, KeyUpdateAnnouncement):
-                agent = self.agents.get(ip)
-                if agent is not None:
-                    agent.handle_key_update(message)
-
-        return endpoint
+        Kept for callers that rewrap a node's endpoint (e.g. the sybil
+        attack interposes on its host before delegating back).
+        """
+        return self.dispatcher.endpoint(ip)
 
     def relay_pool(self) -> list[int]:
         """Nodes eligible as onion relays (every online node)."""
         return self.network.online_nodes()
 
-    @property
-    def counter(self) -> MessageCounter:
-        return self.network.counter
+    # ------------------------------------------------------------------
+    # Bootstrap (§3.4.1) and maintenance (§3.4.3)
+    # ------------------------------------------------------------------
 
-    # ------------------------------------------------------------------
-    # Bootstrap (§3.4.1)
-    # ------------------------------------------------------------------
+    @property
+    def discovery_list_hook(self) -> DiscoveryHook | None:
+        """Attack hook: forged discovery lists (see MaintenanceService)."""
+        return self.maintenance.discovery_list_hook
+
+    @discovery_list_hook.setter
+    def discovery_list_hook(self, hook: DiscoveryHook | None) -> None:
+        self.maintenance.discovery_list_hook = hook
+
+    @property
+    def _bootstrapped(self) -> bool:
+        return self.maintenance.bootstrapped
+
+    @_bootstrapped.setter
+    def _bootstrapped(self, value: bool) -> None:
+        self.maintenance.bootstrapped = value
 
     def self_entry_for(self, ip: int) -> AgentListEntry | None:
         """A reputation agent's self-advertisement during discovery."""
-        if ip not in self.agents:
-            return None
-        peer = self.peers[ip]
-        onion = peer.ensure_onion(self.relay_pool())
-        return AgentListEntry(
-            weight=self.config.initial_expertise,
-            agent_node_id=peer.node_id,
-            agent_onion=onion,
-            agent_sp=peer.keys.sp,
-            agent_ip=ip,
-        )
-
-    def _discover_for(self, peer: HiRepPeer, wanted: int) -> int:
-        """One discovery round for ``peer``; rank, select, adopt. Returns adds."""
-        cfg = self.config
-        outcome = discover_agent_lists(
-            self.topology,
-            peer.ip,
-            cfg.tokens,
-            cfg.ttl,
-            rng=peer.rng,
-            get_list=self._discovery_list_for,
-            get_self_entry=self.self_entry_for,
-            online=self.network.is_online,
-        )
-        self.counter.count(Category.AGENT_DISCOVERY, outcome.request_messages)
-        self.counter.count(Category.AGENT_DISCOVERY_REPLY, outcome.reply_messages)
-        per_list_ranks = []
-        candidates: dict[NodeID, AgentListEntry] = {}
-        for reply in outcome.replies:
-            entries = list(reply.entries)
-            if reply.self_entry is not None:
-                entries.append(reply.self_entry)
-            per_list_ranks.append(rank_within_list(entries, wanted))
-            for entry in entries:
-                candidates.setdefault(entry.agent_node_id, entry)
-        if not candidates:
-            return 0
-        selected = select_agents(
-            list(candidates.values()), per_list_ranks, wanted, peer.rng
-        )
-        return peer.adopt_entries(selected)
-
-    def _discovery_list_for(self, node: int):
-        """Node ``node``'s trusted-agent list as seen by discovery.
-
-        Compromised nodes (``discovery_list_hook``) may return forged lists.
-        """
-        if self.discovery_list_hook is not None:
-            forged = self.discovery_list_hook(node)
-            if forged is not None:
-                return forged
-        return self.peers[node].agent_list.as_entries() or None
+        return self.maintenance.self_entry_for(ip)
 
     def bootstrap(self, rounds: int = 2) -> None:
-        """Give every peer an initial trusted-agent list.
+        """Give every peer an initial trusted-agent list (§3.4.1)."""
+        self.maintenance.bootstrap(rounds)
 
-        Two rounds by default: the first seeds from agent self-entries, the
-        second propagates the now-existing lists so peers reach capacity —
-        "the reputation list initialization is executed only once for each
-        peer" (§4.1), so experiments reset the message counter afterwards.
-        """
-        if self._bootstrapped:
-            return
-        order = np.arange(len(self.peers))
-        for _ in range(rounds):
-            self._rng_workload.shuffle(order)
-            for i in order:
-                peer = self.peers[int(i)]
-                if not self.network.is_online(peer.ip):
-                    continue
-                wanted = peer.agent_list.capacity - len(peer.agent_list)
-                if wanted > 0:
-                    self._discover_for(peer, wanted)
-        self._bootstrapped = True
+    def maintain(self, peer: HiRepPeer) -> None:
+        """§3.4.3 list maintenance: probe backups, rediscover if short."""
+        self.maintenance.maintain(peer)
 
     # ------------------------------------------------------------------
     # Transactions (§3.6, §5.2)
     # ------------------------------------------------------------------
 
-    def maintain(self, peer: HiRepPeer) -> None:
-        """§3.4.3 list maintenance: probe backups, rediscover if short."""
-        if not peer.agent_list.needs_refill(self.config.refill_threshold):
-            return
-        peer.probe_backups()
-        if peer.agent_list.needs_refill(self.config.refill_threshold):
-            wanted = peer.agent_list.capacity - len(peer.agent_list)
-            self._discover_for(peer, wanted)
-
-    def pick_pair(self, requestor: int | None = None) -> tuple[int, int]:
-        """Pick a (requestor, provider) pair of distinct online nodes."""
-        online = self.network.online_nodes()
-        if len(online) < 2:
-            raise SimulationError("fewer than two online nodes")
-        if requestor is None:
-            r_idx = int(self._rng_workload.integers(0, len(online)))
-            requestor = online[r_idx]
-        provider = requestor
-        while provider == requestor:
-            provider = online[int(self._rng_workload.integers(0, len(online)))]
-        return requestor, provider
-
     def run_transaction(
         self, requestor: int | None = None, provider: int | None = None
-    ) -> TransactionOutcome:
+    ) -> Outcome:
         """Execute one full transaction cycle and record metrics.
 
         An explicitly requested ``provider`` must exist and be online —
@@ -371,9 +189,7 @@ class HiRepSystem:
             # protected-set entry would exempt every past requestor from
             # churn for the rest of the run.
             protect = {requestor} if requestor is not None else set()
-            self.churn.step(
-                self.network, self._rng_workload, extra_protected=protect
-            )
+            self.churn.step(self.network, self.rng, extra_protected=protect)
         req, prov = self.pick_pair(requestor)
         if provider is not None:
             if not 0 <= provider < len(self.peers):
@@ -381,87 +197,37 @@ class HiRepSystem:
             if not self.network.is_online(provider):
                 raise SimulationError(f"provider {provider} is offline")
             prov = provider
-        peer = self.peers[req]
 
-        self.maintain(peer)
+        self.maintain(self.peers[req])
 
         trust_before = self._trust_traffic()
         total_before = self.counter.total
-        try:
-            peer.start_query(self.truth_key(prov), self.relay_pool())
-        except NoTrustedAgentsError:
-            # Query impossible this round: still record the blind estimate.
-            result = QueryResult(
-                subject=self.truth_key(prov),
-                estimate=0.5,
-                responses=[],
-                response_time_ms=float("nan"),
-                answered=0,
-                asked=0,
-            )
-        else:
-            self.network.run()
-            result = peer.finish_query()
-            truth = float(self.truth[prov])
-            peer.settle_transaction(result, truth, self.relay_pool())
-            self.network.run()
+        result = self.queries.execute(req, prov)
 
         truth = float(self.truth[prov])
-        sq = self.mse.record(result.estimate, truth)
-        if not np.isnan(result.response_time_ms):
-            self.response_times.record(result.response_time_ms)
-        self.counter.snapshot()
-        outcome = TransactionOutcome(
+        err = float(result.estimate) - truth
+        outcome = Outcome(
             index=self.transactions_run,
             requestor=req,
             provider=prov,
             estimate=result.estimate,
             truth=truth,
-            squared_error=sq,
+            squared_error=err * err,
             response_time_ms=result.response_time_ms,
             trust_messages=self._trust_traffic() - trust_before,
             total_messages=self.counter.total - total_before,
             answered=result.answered,
             asked=result.asked,
         )
-        self.outcomes.append(outcome)
-        self.transactions_run += 1
-        return outcome
-
-    def run(
-        self, transactions: int, requestor: int | None = None
-    ) -> list[TransactionOutcome]:
-        """Run a batch of transactions (fixed requestor when given)."""
-        return [self.run_transaction(requestor) for _ in range(transactions)]
+        return self._record(outcome)
 
     # ------------------------------------------------------------------
     # Periodic key update (§3.5, last paragraph)
     # ------------------------------------------------------------------
 
     def rotate_peer_keys(self, ip: int) -> PeerKeys:
-        """Rotate peer ``ip``'s keypairs and propagate the update.
-
-        Protocol order matters: the announcement is signed with the *old*
-        SR and travels first; only then does the peer adopt the new
-        material and the simulation wiring (onion router key, handshake
-        responder, truth oracle) follow the identity.
-        """
-        peer = self.peers[ip]
-        old_node_id = peer.node_id
-        new_keys = peer.keys.rotated(self.backend, self._rng_keys)
-        peer.announce_key_update(new_keys)
-        self.network.run()  # deliver announcements under the old identity
-        peer.adopt_keys(new_keys)
-        self.router.register_node(ip, new_keys.ar)
-        self.relay_registry.register(
-            ip,
-            HandshakeResponder(
-                self.backend, new_keys.ap, new_keys.ar, ip, NonceRegistry(peer.rng)
-            ),
-        )
-        truth = self.truth_by_id.pop(old_node_id)
-        self.truth_by_id[new_keys.node_id] = truth
-        return new_keys
+        """Rotate peer ``ip``'s keypairs and propagate the update (§3.5)."""
+        return self.key_rotation.rotate(ip)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -469,21 +235,13 @@ class HiRepSystem:
 
     def truth_key(self, ip: int) -> NodeID:
         """The nodeID of peer ``ip`` (what trust queries are keyed by)."""
-        return self.peers[ip].node_id
+        return self.queries.truth_key(ip)
 
     def _trust_traffic(self) -> int:
         return sum(
             self.counter.by_category.get(cat, 0)
             for cat in TRUST_TRAFFIC_CATEGORIES
         )
-
-    def reset_metrics(self) -> None:
-        """Zero every collector (typically right after bootstrap)."""
-        self.counter.reset()
-        self.mse.reset()
-        self.response_times.reset()
-        self.outcomes.clear()
-        self.transactions_run = 0
 
     def retry_stats(self) -> dict[str, int]:
         """Aggregate timeout/retry accounting across every peer."""

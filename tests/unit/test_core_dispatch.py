@@ -1,0 +1,100 @@
+"""ProtocolDispatcher: role scoping, MRO routing, tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dispatch import ProtocolDispatcher, RecordingTracer
+from repro.errors import ConfigError
+
+
+class Ping:
+    pass
+
+
+class FancyPing(Ping):
+    pass
+
+
+class Pong:
+    pass
+
+
+def make_dispatcher(tracer=None) -> tuple[ProtocolDispatcher, list]:
+    calls: list[tuple] = []
+    d = ProtocolDispatcher(tracer=tracer)
+    d.define_role("agent", lambda ip: ip % 2 == 0)  # even nodes are agents
+    d.define_role("peer", lambda ip: True)
+    d.register("agent", Ping, lambda ip, m, t: calls.append(("agent-ping", ip)))
+    d.register("peer", Pong, lambda ip, m, t: calls.append(("peer-pong", ip)))
+    return d, calls
+
+
+def test_routes_by_role_and_type():
+    d, calls = make_dispatcher()
+    assert d.dispatch(2, Ping(), 0.0) is True
+    assert d.dispatch(1, Pong(), 0.0) is True
+    assert calls == [("agent-ping", 2), ("peer-pong", 1)]
+
+
+def test_role_scoping_drops_agent_traffic_at_non_agents():
+    d, calls = make_dispatcher()
+    assert d.dispatch(3, Ping(), 0.0) is False  # odd node: not an agent
+    assert calls == []
+
+
+def test_mro_walk_routes_subclasses():
+    d, calls = make_dispatcher()
+    assert d.dispatch(4, FancyPing(), 0.0) is True
+    assert calls == [("agent-ping", 4)]
+
+
+def test_unroutable_message_drops():
+    d, calls = make_dispatcher()
+    assert d.dispatch(2, object(), 0.0) is False
+    assert calls == []
+
+
+def test_endpoint_adapts_to_router_signature():
+    d, calls = make_dispatcher()
+    endpoint = d.endpoint(6)
+    endpoint(Ping(), 12.5)
+    assert calls == [("agent-ping", 6)]
+
+
+def test_tracer_sees_handled_and_dropped():
+    tracer = RecordingTracer()
+    d, _calls = make_dispatcher(tracer)
+    d.dispatch(2, Ping(), 1.0)
+    d.dispatch(3, Ping(), 2.0)
+    assert [r.role for r in tracer.records] == ["agent", None]
+    assert [r.ip for r in tracer.handled()] == [2]
+    assert [r.ip for r in tracer.dropped()] == [3]
+    assert tracer.records[0].sent_at == 1.0
+
+
+def test_duplicate_registration_rejected():
+    d, _calls = make_dispatcher()
+    with pytest.raises(ConfigError, match="already routed"):
+        d.register("agent", Ping, lambda ip, m, t: None)
+    with pytest.raises(ConfigError, match="already defined"):
+        d.define_role("agent", lambda ip: True)
+    with pytest.raises(ConfigError, match="unknown role"):
+        d.register("ghost", Pong, lambda ip, m, t: None)
+
+
+def test_routes_lists_registration_order():
+    d, _calls = make_dispatcher()
+    assert d.routes() == [("agent", Ping), ("peer", Pong)]
+
+
+def test_hirep_system_tracer_observes_protocol_messages():
+    from repro import HiRepConfig, HiRepSystem
+    from repro.core.messages import TrustValueRequest, TrustValueResponse
+
+    tracer = RecordingTracer()
+    system = HiRepSystem(HiRepConfig(network_size=40, seed=3), tracer=tracer)
+    system.run(3, requestor=0)
+    kinds = {type(r.message) for r in tracer.handled()}
+    assert TrustValueRequest in kinds
+    assert TrustValueResponse in kinds
