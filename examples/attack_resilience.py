@@ -15,7 +15,7 @@ Run:  python examples/attack_resilience.py
 
 import numpy as np
 
-from repro import HiRepConfig, HiRepSystem
+from repro import HiRepConfig, build_system
 from repro.attacks import (
     install_recommendation_attack,
     mount_spoofing_attack,
@@ -34,7 +34,7 @@ config = HiRepConfig(
 )
 
 # --- 1. identity spoofing ----------------------------------------------------
-system = HiRepSystem(config)
+system = build_system("hirep", config)
 system.bootstrap()
 for requestor in range(4):
     system.run(25, requestor=requestor)
@@ -48,12 +48,12 @@ print(f"accepted by the agent   : {report.accepted}")
 print(f"rejection rate          : {report.rejection_rate:.0%}")
 
 # --- 2. recommendation manipulation -------------------------------------------
-clean = HiRepSystem(config)
+clean = build_system("hirep", config)
 clean.bootstrap()
 clean.reset_metrics()
 clean.run(150, requestor=0)
 
-attacked = HiRepSystem(config)
+attacked = build_system("hirep", config)
 install_recommendation_attack(attacked, attacker_fraction=0.3, rng=rng)
 attacked.bootstrap()
 attacked.reset_metrics()
@@ -64,7 +64,7 @@ print(f"trained MSE, clean      : {clean.mse.tail_mse(50):.4f}")
 print(f"trained MSE, attacked   : {attacked.mse.tail_mse(50):.4f}")
 
 # --- 3. DoS on the most popular agents ------------------------------------------
-dos = HiRepSystem(config)
+dos = build_system("hirep", config)
 dos.bootstrap()
 dos.reset_metrics()
 dos.run(100, requestor=0)

@@ -10,7 +10,7 @@ accuracy.
 Run:  python examples/churn_dynamics.py
 """
 
-from repro import HiRepConfig, HiRepSystem
+from repro import HiRepConfig, build_system
 from repro.net.churn import ChurnModel
 
 BASE = HiRepConfig(
@@ -24,7 +24,7 @@ BASE = HiRepConfig(
 
 def run_with(backup_cache_size: int):
     churn = ChurnModel(leave_prob=0.05, rejoin_prob=0.4, protected={0})
-    system = HiRepSystem(
+    system = build_system("hirep", 
         BASE.with_(backup_cache_size=backup_cache_size), churn=churn
     )
     system.bootstrap()

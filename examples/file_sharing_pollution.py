@@ -18,7 +18,7 @@ Run:  python examples/file_sharing_pollution.py
 
 import numpy as np
 
-from repro import HiRepConfig, HiRepSystem, PureVotingSystem
+from repro import HiRepConfig, build_system
 from repro.filesharing import FileCatalog, FileSharingSession
 
 POLLUTER_FRACTION = 0.5   # half the population serves polluted files
@@ -49,12 +49,12 @@ def run_session(system, train_first: bool) -> FileSharingSession:
 
 
 # hiREP-guided downloads.
-hirep = HiRepSystem(config)
+hirep = build_system("hirep", config)
 hirep.bootstrap()
 hirep_session = run_session(hirep, train_first=True)
 
 # Voting-guided downloads on the identical world.
-voting_session = run_session(PureVotingSystem(config), train_first=False)
+voting_session = run_session(build_system("voting", config), train_first=False)
 
 # Random provider choice (no reputation system).
 random_clean = []

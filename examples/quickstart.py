@@ -4,7 +4,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import HiRepConfig, HiRepSystem, PureVotingSystem
+from repro import HiRepConfig, build_system
 
 # 1. Configure a 300-peer unstructured P2P network.  Every Table 1
 #    parameter is a keyword; these are the paper's defaults scaled down.
@@ -19,7 +19,7 @@ config = HiRepConfig(
 )
 
 # 2. Build the system: topology, keys, onion router, reputation agents.
-system = HiRepSystem(config)
+system = build_system("hirep", config)
 system.bootstrap()           # token/TTL agent discovery for every peer
 system.reset_metrics()       # bootstrap traffic is one-time; don't count it
 
@@ -40,7 +40,7 @@ print(f"agents evicted for poor expertise    : {peer.agent_list.evictions}")
 
 # 4. Compare with the paper's baseline: flooding-based pure voting on the
 #    exact same network (same topology, same ground truth, same seed).
-voting = PureVotingSystem(config)
+voting = build_system("voting", config)
 voting.run(200, requestor=0)
 v_out = voting.outcomes[-1]
 

@@ -5,6 +5,6 @@ rule: create a module here, subclass :class:`repro.devtools.lint.registry.Rule`,
 decorate it with ``@register``, and import the module below.
 """
 
-from repro.devtools.lint.rules import api, determinism, execution
+from repro.devtools.lint.rules import api, architecture, determinism, execution
 
-__all__ = ["api", "determinism", "execution"]
+__all__ = ["api", "architecture", "determinism", "execution"]

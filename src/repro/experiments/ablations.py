@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.discovery import discover_agent_lists
 from repro.core.messages import AgentListEntry
 from repro.core.ranking import rank_within_list, select_agents
+from repro.core.registry import build_system
 from repro.core.system import HiRepSystem
 from repro.experiments.common import ExperimentResult, Series
 from repro.net.churn import ChurnModel
@@ -51,7 +52,7 @@ def ablate_tokens(network_size: int, seed: int) -> Series:
     """Discovery replies are bounded by the token budget, not the overlay."""
     xs, ys = [], []
     for tokens in (2, 4, 8, 16):
-        system = HiRepSystem(_cfg(network_size, seed, tokens=tokens))
+        system = build_system("hirep", _cfg(network_size, seed, tokens=tokens))
         outcome = discover_agent_lists(
             system.topology,
             0,
@@ -70,7 +71,7 @@ def ablate_tokens(network_size: int, seed: int) -> Series:
 def ablate_ttl(network_size: int, seed: int) -> Series:
     """Discovery reach (distinct repliers) vs TTL at a fixed token budget."""
     xs, ys = [], []
-    system = HiRepSystem(_cfg(network_size, seed))
+    system = build_system("hirep", _cfg(network_size, seed))
     for ttl in (1, 2, 3, 5):
         outcome = discover_agent_lists(
             system.topology,
@@ -104,7 +105,7 @@ def ablate_theta(network_size: int, seed: int) -> Series:
     """Trained MSE per eviction threshold."""
     xs, ys = [], []
     for theta in (0.2, 0.4, 0.6, 0.8):
-        system = HiRepSystem(_cfg(network_size, seed, eviction_threshold=theta))
+        system = build_system("hirep", _cfg(network_size, seed, eviction_threshold=theta))
         xs.append(theta)
         ys.append(_trained_mse(system))
     return Series(name="trained_mse_vs_theta", x=xs, y=ys)
@@ -117,7 +118,7 @@ def ablate_merge(network_size: int, seed: int) -> tuple[Series, str]:
     attacker lists bad-mouth it with weight 0.  Max-rank keeps it on top;
     mean-rank buries it.
     """
-    system = HiRepSystem(_cfg(network_size, seed))
+    system = build_system("hirep", _cfg(network_size, seed))
     good_ip = system.good_agent_ips()[0]
     poor_ips = system.poor_agent_ips()[:3]
     good = system.self_entry_for(good_ip)
@@ -168,7 +169,7 @@ def ablate_backup(network_size: int, seed: int) -> tuple[Series, str]:
     for backup in (0, 20):
         cfg = _cfg(network_size, seed, backup_cache_size=backup)
         churn = ChurnModel(leave_prob=0.05, rejoin_prob=0.4, protected={0})
-        system = HiRepSystem(cfg, churn=churn)
+        system = build_system("hirep", cfg, churn=churn)
         system.bootstrap()
         system.reset_metrics()
         system.run(150, requestor=0)
@@ -190,7 +191,7 @@ def ablate_onion(network_size: int, seed: int) -> Series:
     """Per-transaction trust traffic vs onion length (anonymity's price)."""
     xs, ys = [], []
     for relays in (0, 2, 4, 8):
-        system = HiRepSystem(_cfg(network_size, seed, onion_relays=relays))
+        system = build_system("hirep", _cfg(network_size, seed, onion_relays=relays))
         system.bootstrap()
         system.reset_metrics()
         system.run(30, requestor=0)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.system import HiRepSystem
+from repro.core.registry import build_system
 from repro.experiments.common import ExperimentResult, Series
 from repro.net.churn import ChurnModel
 from repro.net.messages import Category
@@ -57,7 +57,7 @@ def run(
             if rate > 0
             else None
         )
-        system = HiRepSystem(cfg, churn=churn)
+        system = build_system("hirep", cfg, churn=churn)
         system.bootstrap()
         system.reset_metrics()
         system.run(transactions, requestor=0)

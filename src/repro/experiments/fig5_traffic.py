@@ -13,8 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.voting import PureVotingSystem
-from repro.core.system import HiRepSystem
+from repro.core.registry import build_system
 from repro.experiments.common import ExperimentResult, Series
 from repro.workloads.scenarios import fig5_config
 
@@ -38,7 +37,7 @@ def run(
 
     for degree in VOTING_DEGREES:
         cfg = fig5_config(degree, network_size=network_size, seed=seed)
-        voting = PureVotingSystem(cfg)
+        voting = build_system("voting", cfg)
         voting.run(transactions)
         cumulative = voting.counter.snapshots / 100.0
         result.series.append(
@@ -46,7 +45,7 @@ def run(
         )
 
     cfg = fig5_config(4.0, network_size=network_size, seed=seed)
-    hirep = HiRepSystem(cfg)
+    hirep = build_system("hirep", cfg)
     hirep.bootstrap()
     hirep.reset_metrics()
     hirep.run(transactions)

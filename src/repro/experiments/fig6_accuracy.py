@@ -10,8 +10,7 @@ workload fixes the requestor (see ``repro.workloads.transactions``).
 
 from __future__ import annotations
 
-from repro.baselines.voting import PureVotingSystem
-from repro.core.system import HiRepSystem
+from repro.core.registry import build_system
 from repro.experiments.common import ExperimentResult, Series
 from repro.workloads.scenarios import fig6_config
 
@@ -37,7 +36,7 @@ def run(
     x = list(range(1, transactions + 1))
 
     cfg = fig6_config(0.4, network_size=network_size, seed=seed)
-    voting = PureVotingSystem(cfg)
+    voting = build_system("voting", cfg)
     voting.mse.window = window
     voting.run(transactions, requestor=requestor)
     result.series.append(
@@ -46,7 +45,7 @@ def run(
 
     for theta in THRESHOLDS:
         cfg = fig6_config(theta, network_size=network_size, seed=seed)
-        hirep = HiRepSystem(cfg)
+        hirep = build_system("hirep", cfg)
         hirep.mse.window = window
         hirep.bootstrap()
         hirep.reset_metrics()

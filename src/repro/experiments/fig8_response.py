@@ -12,8 +12,7 @@ and hirep-n, where n is the onion relay count (10, 7, 5).  Expected shape:
 
 from __future__ import annotations
 
-from repro.baselines.voting import PureVotingSystem
-from repro.core.system import HiRepSystem
+from repro.core.registry import build_system
 from repro.experiments.common import ExperimentResult, Series
 from repro.workloads.scenarios import fig8_config
 
@@ -36,7 +35,7 @@ def run(
     )
 
     cfg = fig8_config(5, network_size=network_size, seed=seed)
-    voting = PureVotingSystem(cfg)
+    voting = build_system("voting", cfg)
     voting.run(transactions)
     y = [float(v) for v in voting.response_times.cumulative()]
     result.series.append(Series(name="voting", x=list(range(1, len(y) + 1)), y=y))
@@ -44,7 +43,7 @@ def run(
 
     for relays in RELAY_COUNTS:
         cfg = fig8_config(relays, network_size=network_size, seed=seed)
-        hirep = HiRepSystem(cfg)
+        hirep = build_system("hirep", cfg)
         hirep.bootstrap()
         hirep.reset_metrics()
         hirep.run(transactions)

@@ -24,7 +24,7 @@ evidence out-resolves innate-but-noisy judgement.
 
 from __future__ import annotations
 
-from repro.core.system import HiRepSystem
+from repro.core.registry import build_system
 from repro.core.trust_models import (
     EWMAReportModel,
     ReportAverageModel,
@@ -63,7 +63,7 @@ def run(
         poor_agent_fraction=0.0,  # no oracle ⇒ no innate quality split
     )
     for name, factory in MODEL_FACTORIES.items():
-        system = HiRepSystem(cfg, model_factory=factory)
+        system = build_system("hirep", cfg, model_factory=factory)
         system.mse.window = window
         system.bootstrap()
         system.reset_metrics()

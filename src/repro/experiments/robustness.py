@@ -30,7 +30,7 @@ from repro.attacks.dos import restore_agents, take_down_top_agents
 from repro.attacks.models import install_recommendation_attack
 from repro.attacks.spoofing import mount_spoofing_attack
 from repro.attacks.sybil import SybilOperator
-from repro.core.system import HiRepSystem
+from repro.core.registry import build_system
 from repro.experiments.common import ExperimentResult, Series
 from repro.net.faults import CrashWindow, CrashSchedule, FaultPlane, MessageLoss
 from repro.workloads.scenarios import default_config
@@ -65,7 +65,7 @@ def run(network_size: int = 250, seed: int = 2006) -> ExperimentResult:
     rng = np.random.default_rng(seed + 1)
 
     # --- 1. spoofing ------------------------------------------------------
-    system = HiRepSystem(_small(network_size, seed))
+    system = build_system("hirep", _small(network_size, seed))
     system.bootstrap()
     # A handful of requestors so agents learn several identities.
     for req in (0, 1, 2, 3):
@@ -84,13 +84,13 @@ def run(network_size: int = 250, seed: int = 2006) -> ExperimentResult:
     )
 
     # --- 2. recommendation manipulation ------------------------------------
-    clean = HiRepSystem(_small(network_size, seed))
+    clean = build_system("hirep", _small(network_size, seed))
     clean.bootstrap()
     clean.reset_metrics()
     clean.run(150, requestor=0)
     clean_mse = clean.mse.tail_mse(50)
 
-    attacked = HiRepSystem(_small(network_size, seed))
+    attacked = build_system("hirep", _small(network_size, seed))
     install_recommendation_attack(attacked, attacker_fraction=0.3, rng=rng)
     attacked.bootstrap()
     attacked.reset_metrics()
@@ -104,7 +104,7 @@ def run(network_size: int = 250, seed: int = 2006) -> ExperimentResult:
     )
 
     # --- 3. sybil damping -----------------------------------------------------
-    sybil_sys = HiRepSystem(_small(network_size, seed))
+    sybil_sys = build_system("hirep", _small(network_size, seed))
     host = next(iter(sybil_sys.agents))
     operator = SybilOperator(sybil_sys, host, count=15, rng=rng)
     operator.install(compromised=set(range(0, network_size, 7)))
@@ -122,7 +122,7 @@ def run(network_size: int = 250, seed: int = 2006) -> ExperimentResult:
     )
 
     # --- 4. DoS recovery ---------------------------------------------------
-    dos_sys = HiRepSystem(_small(network_size, seed))
+    dos_sys = build_system("hirep", _small(network_size, seed))
     dos_sys.bootstrap()
     dos_sys.reset_metrics()
     dos_sys.run(120, requestor=0)
@@ -198,7 +198,7 @@ def degradation_cell(
     if windows:
         models.append(CrashSchedule(windows))
     plane = FaultPlane(models, seed=seed + 17) if models else None
-    system = HiRepSystem(cfg, faults=plane)
+    system = build_system("hirep", cfg, faults=plane)
     system.bootstrap()
     system.reset_metrics()
     system.run(transactions, requestor=0)

@@ -18,7 +18,7 @@ from repro.attacks.traffic_analysis import (
     top_k_precision,
     true_popular_agents,
 )
-from repro.core.system import HiRepSystem
+from repro.core.registry import build_system
 from repro.experiments.common import ExperimentResult, Series
 from repro.workloads.scenarios import default_config
 
@@ -33,7 +33,7 @@ def _measure(onion_relays: int, network_size: int, transactions: int, seed: int,
         agents_queried=6,
         tokens=8,
     )
-    system = HiRepSystem(cfg)
+    system = build_system("hirep", cfg)
     system.bootstrap()
     observer = TrafficObserver().attach(system)
     # Many different requestors, so agent popularity (not requestor

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.system import HiRepSystem
+from repro.core.registry import build_system
 from repro.experiments.common import ExperimentResult, Series
 from repro.workloads.scenarios import default_config
 
@@ -61,7 +61,7 @@ def run(
                 trusted_agents=max(c * 3, 15),
                 refill_threshold=max(c, 5),
             )
-            system = HiRepSystem(cfg)
+            system = build_system("hirep", cfg)
             system.bootstrap()
             system.reset_metrics()
             system.run(transactions, requestor=0)

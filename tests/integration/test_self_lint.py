@@ -20,6 +20,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 def test_bundled_rule_set_is_complete():
     assert [r.code for r in all_rules()] == [
         "API001",
+        "ARC001",
         "DET001",
         "DET002",
         "DET003",
@@ -29,7 +30,7 @@ def test_bundled_rule_set_is_complete():
 
 def test_live_tree_is_clean_against_committed_baseline():
     out = io.StringIO()
-    code = main(["src", "--root", str(REPO_ROOT)], stream=out)
+    code = main(["src", "examples", "--root", str(REPO_ROOT)], stream=out)
     assert code == 0, f"hirep-lint found new violations:\n{out.getvalue()}"
 
 

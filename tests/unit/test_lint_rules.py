@@ -11,8 +11,10 @@ import textwrap
 from repro.devtools.lint import lint_source
 
 
-def codes(source: str, module: str = "repro.sim.fake") -> list[str]:
-    result = lint_source(textwrap.dedent(source), module=module, path="fake.py")
+def codes(
+    source: str, module: str | None = "repro.sim.fake", path: str = "fake.py"
+) -> list[str]:
+    result = lint_source(textwrap.dedent(source), module=module, path=path)
     assert not result.errors, result.errors
     return [f.rule for f in result.findings]
 
@@ -200,6 +202,58 @@ def test_api001_fully_annotated_is_clean():
 def test_api001_pragma_on_def_line():
     src = "def run(seed):  # lint: allow[API001]\n    return seed\n"
     assert codes(src, module="repro.exec.fake") == []
+
+
+# ---------------------------------------------------------------- ARC001
+
+
+def test_arc001_flags_direct_construction_in_experiments():
+    src = """
+        from repro.core.system import HiRepSystem
+        system = HiRepSystem(cfg)
+    """
+    assert codes(src, module="repro.experiments.fake") == ["ARC001"]
+
+
+def test_arc001_flags_attribute_calls_and_every_system_class():
+    src = """
+        import repro
+        a = repro.core.system.HiRepSystem(cfg)
+        b = PureVotingSystem(cfg)
+        c = GossipSystem(cfg, fanout=5)
+    """
+    assert codes(src, module="repro.experiments.fake") == ["ARC001"] * 3
+
+
+def test_arc001_flags_examples_scripts_by_path():
+    src = "system = HiRepSystem(cfg)\n"
+    assert codes(src, module=None, path="examples/quickstart.py") == ["ARC001"]
+    # the engine gives packageless scripts their bare stem as module
+    assert codes(src, module="quickstart", path="examples/quickstart.py") == [
+        "ARC001"
+    ]
+
+
+def test_arc001_registry_construction_is_clean():
+    src = """
+        from repro import build_system
+        system = build_system("hirep", cfg, churn=model)
+        baseline = build_system("voting", cfg)
+    """
+    assert codes(src, module="repro.experiments.fake") == []
+
+
+def test_arc001_scope_exempts_kernel_tests_and_other_scripts():
+    src = "system = HiRepSystem(cfg)\n"
+    assert codes(src, module="repro.core.registry") == []
+    assert codes(src, module="repro.baselines.voting") == []
+    assert codes(src, module="tests.integration.test_kernel_equivalence") == []
+    assert codes(src, module=None, path="scripts/tool.py") == []
+
+
+def test_arc001_pragma_suppresses():
+    src = "system = HiRepSystem(cfg)  # lint: allow[ARC001]\n"
+    assert codes(src, module="repro.experiments.fake") == []
 
 
 # ---------------------------------------------------------------- pragmas
