@@ -2,9 +2,17 @@
 """Quickstart: build a hiREP deployment, run transactions, read the metrics.
 
 Run:  python examples/quickstart.py
+
+Set HIREP_TELEMETRY_DIR=out/telemetry to also capture a telemetry bundle
+(event timeline, spans, Chrome trace) for both systems — see
+docs/observability.md.
 """
 
+import os
+
 from repro import HiRepConfig, build_system
+
+TELEMETRY_DIR = os.environ.get("HIREP_TELEMETRY_DIR")
 
 # 1. Configure a 300-peer unstructured P2P network.  Every Table 1
 #    parameter is a keyword; these are the paper's defaults scaled down.
@@ -22,6 +30,14 @@ config = HiRepConfig(
 system = build_system("hirep", config)
 system.bootstrap()           # token/TTL agent discovery for every peer
 system.reset_metrics()       # bootstrap traffic is one-time; don't count it
+
+# (optional) observe the run: one plane, both systems, one bundle.
+plane = None
+if TELEMETRY_DIR:
+    from repro.obs import TelemetryPlane
+
+    plane = TelemetryPlane()
+    plane.attach(system)     # protocol code stays untouched
 
 # 3. Run 200 transactions from one requestor (peer 0).  Each transaction
 #    queries trusted agents through onion routes, downloads, updates
@@ -41,6 +57,8 @@ print(f"agents evicted for poor expertise    : {peer.agent_list.evictions}")
 # 4. Compare with the paper's baseline: flooding-based pure voting on the
 #    exact same network (same topology, same ground truth, same seed).
 voting = build_system("voting", config)
+if plane is not None:
+    plane.attach(voting)     # second attachment gets the "sys1." label
 voting.run(200, requestor=0)
 v_out = voting.outcomes[-1]
 
@@ -51,3 +69,10 @@ print(f"mean response time                   : {voting.response_times.mean():.0f
 
 ratio = outcomes[-1].trust_messages / v_out.messages
 print(f"\nhiREP uses {ratio:.1%} of voting's per-transaction traffic.")
+
+if plane is not None:
+    from repro.obs import store_bundle
+
+    key, path = store_bundle(plane, TELEMETRY_DIR)
+    print(f"telemetry bundle {key[:12]} -> {path}")
+    print(f"inspect with: hirep-obs summarize {path}")

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigError
+from repro.obs.capture import attach_current
 
 if TYPE_CHECKING:
     from repro.core.config import HiRepConfig
@@ -76,9 +77,16 @@ class SystemRegistry:
 
         ``config`` and any keyword options are passed through to the
         builder (e.g. ``build_system("hirep", cfg, churn=model)``).
+
+        When a telemetry capture window is open (see
+        :func:`repro.obs.capture.capture`), the built system is attached
+        to the active plane before being returned; otherwise this costs
+        one global ``is None`` check.
         """
         self._require(name)
-        return self._builders[name](config, **opts)
+        system = self._builders[name](config, **opts)
+        attach_current(system)
+        return system
 
     def _require(self, name: str) -> None:
         if name not in self._builders:

@@ -5,6 +5,12 @@ rule: create a module here, subclass :class:`repro.devtools.lint.registry.Rule`,
 decorate it with ``@register``, and import the module below.
 """
 
-from repro.devtools.lint.rules import api, architecture, determinism, execution
+from repro.devtools.lint.rules import (
+    api,
+    architecture,
+    determinism,
+    execution,
+    observability,
+)
 
-__all__ = ["api", "architecture", "determinism", "execution"]
+__all__ = ["api", "architecture", "determinism", "execution", "observability"]

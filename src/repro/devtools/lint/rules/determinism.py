@@ -125,7 +125,14 @@ class NoWallClock(Rule):
 
     code = "DET002"
     name = "no wall-clock reads in deterministic code"
-    packages = ("repro.sim", "repro.core", "repro.net", "repro.exec", "repro.experiments")
+    packages = (
+        "repro.sim",
+        "repro.core",
+        "repro.net",
+        "repro.exec",
+        "repro.experiments",
+        "repro.obs",
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         imported_clocks: set[str] = set()

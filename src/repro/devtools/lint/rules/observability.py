@@ -1,0 +1,60 @@
+"""OBS001: library code reports through telemetry, not ``print()``.
+
+A bare ``print()`` in the simulation/protocol/orchestration layers is
+output nobody can capture, filter, or diff: it bypasses the tracer, the
+span recorder, and the metric registry (:mod:`repro.obs`), interleaves
+nondeterministically under ``--jobs N``, and corrupts machine-read stdout
+(export pipelines, golden files).  Record an event on the plane, bump a
+metric, or raise — don't print.
+
+User-facing surfaces are exempt: CLI modules (``repro.obs.cli``, the
+lint/experiment CLIs live outside the scoped packages anyway) and the
+progress reporter (``repro.exec.progress``), whose entire job is writing
+to a terminal.  A deliberate call elsewhere can carry
+``# lint: allow[OBS001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+
+#: modules whose job *is* terminal output.
+_EXEMPT = ("repro.exec.progress", "repro.obs.cli")
+
+
+@register
+class NoBarePrint(Rule):
+    """OBS001: no ``print()`` in sim/net/core/exec/obs library code."""
+
+    code = "OBS001"
+    name = "library code must not print(); use telemetry (repro.obs)"
+    packages = ("repro.sim", "repro.net", "repro.core", "repro.exec", "repro.obs")
+
+    def applies_to(self, module: str | None) -> bool:
+        if module is not None and any(
+            module == exempt or module.startswith(exempt + ".")
+            for exempt in _EXEMPT
+        ):
+            return False
+        return super().applies_to(module)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "print() in library code bypasses the telemetry plane "
+                    "and corrupts machine-read stdout; record a trace event "
+                    "or metric (repro.obs), or pragma a deliberate site with "
+                    "`# lint: allow[OBS001]`",
+                )

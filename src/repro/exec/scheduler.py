@@ -30,6 +30,12 @@ Every state transition is journalled to the optional
 :class:`~repro.exec.manifest.RunManifest`, and results are stored in the
 optional :class:`~repro.exec.cache.ResultCache`; jobs whose key is
 already cached are satisfied instantly without touching an executor.
+
+With ``telemetry_dir`` set, each executed job additionally captures a
+telemetry bundle (see :mod:`repro.obs`), stored content-addressed under
+that directory; the bundle reference rides on :attr:`JobOutcome.telemetry`
+and the manifest's ``finished`` event, so ``hirep-obs`` can find every
+bundle a sweep produced straight from the run manifest.
 """
 
 from __future__ import annotations
@@ -77,6 +83,8 @@ class JobOutcome:
     cached: bool = False
     attempts: int = 0
     index: int = field(default=0, repr=False)
+    #: {"key": ..., "path": ...} when the run captured a telemetry bundle.
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -100,6 +108,7 @@ class SweepScheduler:
         timeout_s: float | None = None,
         retries: int = 1,
         progress=None,
+        telemetry_dir: str | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -111,6 +120,10 @@ class SweepScheduler:
         self.timeout_s = timeout_s
         self.retries = retries
         self.progress = progress
+        #: when set, every executed job captures a telemetry bundle here
+        #: (see repro.exec.worker.execute_spec); cache hits carry none —
+        #: the job never ran, so there was nothing to observe.
+        self.telemetry_dir = telemetry_dir
 
     # -- journal/progress helpers -----------------------------------------
 
@@ -160,6 +173,7 @@ class SweepScheduler:
     def _record_success(
         self, outcomes, specs, keys, index: int, envelope: dict, attempts: int
     ) -> JobOutcome:
+        telemetry = envelope.get("telemetry")
         outcome = JobOutcome(
             spec=specs[index],
             key=keys[index],
@@ -168,6 +182,7 @@ class SweepScheduler:
             rss_kb=envelope["rss_kb"],
             attempts=attempts,
             index=index,
+            telemetry=telemetry,
         )
         outcomes[index] = outcome
         if self.cache is not None:
@@ -179,6 +194,7 @@ class SweepScheduler:
             attempt=attempts,
             elapsed_s=round(envelope["elapsed_s"], 6),
             rss_kb=envelope["rss_kb"],
+            telemetry=telemetry,
         )
         return outcome
 
@@ -204,7 +220,9 @@ class SweepScheduler:
                     "started", key=keys[index], index=index, attempt=attempts
                 )
                 try:
-                    envelope = execute_spec(specs[index].to_dict())
+                    envelope = execute_spec(
+                        specs[index].to_dict(), self.telemetry_dir
+                    )
                 except Exception as exc:
                     error = f"{type(exc).__name__}: {exc}"
                     self._journal(
@@ -243,7 +261,9 @@ class SweepScheduler:
                 self._journal(
                     "started", key=keys[index], index=index, attempt=attempts[index]
                 )
-                future = pool.submit(execute_spec, specs[index].to_dict())
+                future = pool.submit(
+                    execute_spec, specs[index].to_dict(), self.telemetry_dir
+                )
                 futures[future] = index
                 deadlines[index] = (
                     time.monotonic() + self.timeout_s  # lint: allow[DET002] -- watchdog, not sim time

@@ -1,10 +1,11 @@
-"""Deliberately misbehaving jobs for exercising the scheduler.
+"""Jobs for exercising the scheduler: misbehaving ones, plus a real one.
 
 These live in the package (not the test tree) because worker processes
 resolve jobs by import path — they must be importable wherever the pool
 spawns workers.  A sentinel file carries "have I run before?" across
 process boundaries, which is what lets a job fail exactly once and then
-succeed on retry.
+succeed on retry.  :func:`tiny_system_job` is the well-behaved member:
+a miniature registry-built simulation for telemetry-capture tests.
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ import os
 import time
 from pathlib import Path
 
-__all__ = ["flaky", "crash_once", "sleepy"]
+__all__ = ["flaky", "crash_once", "sleepy", "tiny_system_job"]
 
 
 def flaky(sentinel: str, value: float = 42.0) -> dict:
@@ -43,3 +44,28 @@ def sleepy(seconds: float, value: float = 1.0) -> dict:
     """Sleep, then return — fodder for the timeout watchdog."""
     time.sleep(seconds)
     return {"value": value, "slept_s": seconds}
+
+
+def tiny_system_job(
+    network_size: int = 60,
+    transactions: int = 5,
+    seed: int = 7,
+    system: str = "hirep",
+) -> dict:
+    """A real (tiny) reputation-system run, built through the registry.
+
+    Telemetry integration tests use this: the registry front door is what
+    attaches a captured job's systems to the active plane, so a pure
+    arithmetic job would never produce a bundle.
+    """
+    from repro.core.config import HiRepConfig
+    from repro.core.registry import build_system
+
+    cfg = HiRepConfig(network_size=network_size, seed=seed)
+    sys_ = build_system(system, cfg)
+    outcomes = sys_.run(transactions)
+    return {
+        "transactions": len(outcomes),
+        "messages": sys_.counter.total,
+        "mse": sys_.mse.mse(),
+    }

@@ -8,6 +8,17 @@ callable by import path, runs it, and returns a JSON-able envelope::
      "elapsed_s": 1.23,                       # wall-clock inside the worker
      "rss_kb": 45678}                         # peak RSS of the worker so far
 
+When ``telemetry_dir`` is given, the job runs inside a telemetry capture
+window (:func:`repro.obs.capture.capture`): every system the job builds
+through the registry is instrumented, and the resulting bundle is stored
+content-addressed under ``telemetry_dir`` with the envelope gaining::
+
+    {"telemetry": {"key": "<sha256>", "path": "<bundle dir>"}}
+
+Jobs that build no system (pure computation) produce no bundle and no
+``telemetry`` entry.  Telemetry is worker-side state, so it works
+identically in serial mode and inside pool workers.
+
 Payload kinds:
 
 * ``experiment_result`` — an :class:`~repro.experiments.common.ExperimentResult`,
@@ -56,16 +67,36 @@ def _max_rss_kb() -> int:
     return int(rss // 1024) if sys.platform == "darwin" else int(rss)
 
 
-def execute_spec(spec_dict: dict) -> dict:
-    """Run one job described by ``JobSpec.to_dict()``; worker-side."""
+def execute_spec(spec_dict: dict, telemetry_dir: str | None = None) -> dict:
+    """Run one job described by ``JobSpec.to_dict()``; worker-side.
+
+    ``telemetry_dir`` opts the job into telemetry capture (see module
+    docstring); ``None`` (the default) runs the exact untraced path.
+    """
     module = importlib.import_module(spec_dict["module"])
     func = getattr(module, spec_dict.get("func", "run"))
     kwargs = spec_dict.get("kwargs", {})
+    telemetry: dict | None = None
     start = time.perf_counter()  # lint: allow[DET002] -- job timing telemetry
-    value = func(**kwargs)
+    if telemetry_dir is None:
+        value = func(**kwargs)
+    else:
+        from repro.obs.bundle import store_bundle
+        from repro.obs.capture import capture
+
+        with capture() as plane:
+            value = func(**kwargs)
+        if plane.attached:
+            key, path = store_bundle(
+                plane, telemetry_dir, meta={"spec": spec_dict}
+            )
+            telemetry = {"key": key, "path": str(path)}
     elapsed = time.perf_counter() - start  # lint: allow[DET002]
-    return {
+    envelope = {
         "payload": encode_value(value),
         "elapsed_s": elapsed,
         "rss_kb": _max_rss_kb(),
     }
+    if telemetry is not None:
+        envelope["telemetry"] = telemetry
+    return envelope

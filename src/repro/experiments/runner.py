@@ -214,6 +214,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-job timing table at the end of the run",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="capture a telemetry bundle per executed job under DIR "
+        "(inspect with hirep-obs; see docs/observability.md)",
+    )
     return parser
 
 
@@ -253,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
     jobs = args.jobs if args.jobs is not None else resumed.get("jobs") or 1
     out_dir = args.out or resumed.get("out")
     cache_dir = args.cache_dir or resumed.get("cache_dir")
+    telemetry_dir = args.telemetry or resumed.get("telemetry")
 
     wanted = list(EXPERIMENTS) if "all" in experiments else list(experiments)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
@@ -284,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=jobs,
             out=out_dir,
             cache_dir=str(cache.root) if cache is not None else None,
+            telemetry=telemetry_dir,
             resumed_from=args.resume,
         )
 
@@ -314,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         progress=progress,
+        telemetry_dir=telemetry_dir,
     )
     wall_start = time.perf_counter()  # lint: allow[DET002] -- wall-time telemetry
     try:
@@ -379,6 +389,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.timings:
         print(summary_table(outcomes))
     print(summary_line(outcomes, wall_s=wall_s))
+    if telemetry_dir:
+        captured = sum(1 for o in outcomes if o.telemetry)
+        print(f"telemetry: {captured} bundle(s) under {telemetry_dir}")
     if manifest is not None:
         manifest.append(
             "run_end",

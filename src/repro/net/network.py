@@ -24,8 +24,12 @@ silently dropped, matching how UDP-style P2P deployments behave.
 An optional :class:`~repro.net.faults.FaultPlane` (``network.faults``)
 intercepts every send: injected drops still pay the counter (the sender
 spent the bandwidth) but never schedule a delivery, and injected latency
-spikes are added before the FIFO serialization step.  With no plane
-installed the send path is byte-for-byte the reliable one.
+spikes are added before the FIFO serialization step.  Every intervention
+is announced to ``network.fault_observers`` (``("drop"|"delay", msg,
+extra_ms)``), which is how injected failures appear on the same telemetry
+timeline as deliveries (see :func:`repro.sim.trace.tap_network` and
+:mod:`repro.obs`).  With no plane installed the send path is
+byte-for-byte the reliable one.
 """
 
 from __future__ import annotations
@@ -50,6 +54,9 @@ from repro.sim.metrics import MessageCounter
 __all__ = ["P2PNetwork"]
 
 Handler = Callable[[NetMessage], None]
+
+#: Fault wiretap: (kind, message, extra_latency_ms); kind is "drop"/"delay".
+FaultObserver = Callable[[str, NetMessage, float], None]
 
 
 class P2PNetwork:
@@ -79,6 +86,12 @@ class P2PNetwork:
         #: Used by the §4.2.4 traffic-analysis adversary — observers see
         #: (src, dst, category, size), never payload plaintext.
         self.observers: list[Handler] = []
+        #: Fault-plane wiretaps: called as ``(kind, msg, extra_ms)`` with
+        #: kind ``"drop"`` (message never delivered; extra_ms 0) or
+        #: ``"delay"`` (latency spike of extra_ms injected).  Consulted
+        #: only when a fault plane is installed, so the reliable send path
+        #: pays nothing for them.
+        self.fault_observers: list[FaultObserver] = []
         bandwidths = assign_bandwidths(topology.n, rng, bandwidth_profile)
         self.nodes: list[NetNode] = [
             NetNode(
@@ -171,8 +184,13 @@ class P2PNetwork:
             verdict = self.faults.on_send(msg, self.engine.now)
             if verdict.drop:
                 # Injected loss: cost charged above, no delivery scheduled.
+                for fault_observer in self.fault_observers:
+                    fault_observer("drop", msg, 0.0)
                 return msg
             extra_latency = verdict.extra_latency_ms
+            if extra_latency > 0.0:
+                for fault_observer in self.fault_observers:
+                    fault_observer("delay", msg, extra_latency)
         arrival = self.engine.now + self.latency.between(src, dst) + extra_latency
         if self.model_transmission:
             transmit = self.transmission_ms(dst_node.bandwidth_kbps, msg.size_bytes)

@@ -1,0 +1,78 @@
+"""repro.obs — the unified telemetry plane.
+
+One opt-in observer for a whole simulated deployment: hierarchical
+spans keyed to simulation time, a deterministic metric registry, a
+timeline of network/dispatch/fault events, and exporters (JSONL,
+Chrome trace) feeding the ``hirep-obs`` CLI.  See
+``docs/observability.md`` for the tour.
+
+Attribute access is lazy (PEP 562): importing :mod:`repro.obs` — which
+:mod:`repro.core.registry` does transitively via
+:mod:`repro.obs.capture` — pulls in no numpy-heavy module until a
+telemetry class is actually touched.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "Bundle",
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Span",
+    "SpanRecorder",
+    "TelemetryPlane",
+    "attach_current",
+    "bundle_key",
+    "capture",
+    "capture_active",
+    "current_plane",
+    "load_bundle",
+    "read_jsonl",
+    "store_bundle",
+    "write_bundle",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_metrics_json",
+]
+
+_HOME_OF = {
+    "Bundle": "repro.obs.bundle",
+    "bundle_key": "repro.obs.bundle",
+    "load_bundle": "repro.obs.bundle",
+    "store_bundle": "repro.obs.bundle",
+    "write_bundle": "repro.obs.bundle",
+    "Counter": "repro.obs.metrics",
+    "DEFAULT_BUCKETS_MS": "repro.obs.metrics",
+    "Gauge": "repro.obs.metrics",
+    "Histogram": "repro.obs.metrics",
+    "Registry": "repro.obs.metrics",
+    "Span": "repro.obs.spans",
+    "SpanRecorder": "repro.obs.spans",
+    "TelemetryPlane": "repro.obs.plane",
+    "attach_current": "repro.obs.capture",
+    "capture": "repro.obs.capture",
+    "capture_active": "repro.obs.capture",
+    "current_plane": "repro.obs.capture",
+    "read_jsonl": "repro.obs.export",
+    "write_chrome_trace": "repro.obs.export",
+    "write_events_jsonl": "repro.obs.export",
+    "write_metrics_json": "repro.obs.export",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _HOME_OF.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,76 @@
+"""Process-global telemetry capture context.
+
+The orchestrator builds systems deep inside worker functions, far from
+any code the caller controls — so "capture this run" can't be threaded
+through as an argument without touching every experiment.  Instead,
+:func:`capture` opens a process-global window: while it is active,
+:meth:`repro.core.registry.SystemRegistry.build` calls
+:func:`attach_current` on every system it constructs, and the plane
+sees everything.
+
+This module is deliberately tiny (stdlib-only imports; the plane itself
+is imported lazily) because :mod:`repro.core.registry` imports it at
+module load — the cost when telemetry is off must be one ``is None``
+check per built system and nothing at import time.
+
+Captures do not nest: the plane is process state, and two overlapping
+captures would each see half the other's systems.  One capture per run
+is the model — the worker wraps exactly one job execution.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.plane import TelemetryPlane
+
+__all__ = ["attach_current", "capture", "capture_active", "current_plane"]
+
+_active: "TelemetryPlane | None" = None
+
+
+def capture_active() -> bool:
+    """Is a capture window currently open?"""
+    return _active is not None
+
+
+def current_plane() -> "TelemetryPlane | None":
+    """The active plane, or ``None`` outside a capture window."""
+    return _active
+
+
+def attach_current(system: Any) -> bool:
+    """Attach ``system`` to the active plane, if any.
+
+    The registry's build hook.  Returns whether an attachment happened;
+    with no capture open this is a single global read.
+    """
+    if _active is None:
+        return False
+    _active.attach(system)
+    return True
+
+
+@contextmanager
+def capture(**plane_kwargs: Any) -> Iterator["TelemetryPlane"]:
+    """Open a capture window; yields the :class:`TelemetryPlane`.
+
+    Every system built through the registry inside the window is
+    instrumented.  Keyword arguments go to the plane constructor
+    (``capacity``, ``categories``, ``flight_spans``).
+    """
+    global _active
+    if _active is not None:
+        raise ConfigError("telemetry capture is already active; captures do not nest")
+    from repro.obs.plane import TelemetryPlane
+
+    plane = TelemetryPlane(**plane_kwargs)
+    _active = plane
+    try:
+        yield plane
+    finally:
+        _active = None

@@ -1,0 +1,201 @@
+"""The metric registry: counters, gauges, histograms, one snapshot.
+
+Before the telemetry plane, per-run numbers lived in five disjoint silos
+(:class:`~repro.sim.metrics.MessageCounter`, :class:`~repro.sim.metrics.MSETracker`,
+:class:`~repro.sim.metrics.ResponseTimeTracker`, :class:`~repro.net.faults.FaultStats`,
+``HiRepSystem.retry_stats``) with five different shapes.  A
+:class:`Registry` gives them one export surface:
+
+* **instruments** (:class:`Counter`, :class:`Gauge`, :class:`Histogram`)
+  are created through the registry and updated on the hot path — plain
+  attribute bumps, no allocation;
+* **collectors** are pull-model callables registered by adapters
+  (:meth:`Registry.register_collector`); they snapshot the existing
+  metric silos at :meth:`Registry.collect` time so legacy collectors are
+  absorbed without rewriting them.
+
+:meth:`Registry.collect` returns one flat, name-sorted ``dict`` — the
+shape ``metrics.json`` in a telemetry bundle and ``hirep-obs summarize``
+both consume.  Determinism contract: histogram bucket bounds are fixed at
+construction, every mapping is emitted in sorted key order, and nothing
+here reads the wall clock, so a snapshot is a pure function of the
+simulation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "Registry",
+]
+
+#: Fixed latency bucket upper bounds (milliseconds).  Chosen to span one
+#: FIFO serialization (~tens of ms) up to multi-retry query timeouts;
+#: fixed here — never derived from data — so two runs always bucket
+#: identically.
+DEFAULT_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+    500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0, 30_000.0,
+)
+
+#: A pull-model metric source: returns ``name -> value`` at collect time.
+Collector = Callable[[], Mapping[str, float]]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n!r})")
+        self.value += n
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, open spans, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution (cumulative-free, deterministic).
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches the
+    rest.  Observation cost is one ``bisect`` — no allocation, no sorting
+    of observed data, so the snapshot is independent of observation order.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS_MS
+    ) -> None:
+        self.name = name
+        self.bounds: tuple[float, ...] = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ConfigError(f"histogram {name!r} needs at least one bound")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ConfigError(
+                f"histogram {name!r} bounds must be strictly increasing: "
+                f"{self.bounds}"
+            )
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def as_items(self) -> list[tuple[str, float]]:
+        """Flat ``(suffix, value)`` pairs for :meth:`Registry.collect`."""
+        items: list[tuple[str, float]] = [
+            ("count", self.count),
+            ("sum", self.sum),
+        ]
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            items.append((f"le[{bound:g}]", n))
+        items.append(("le[inf]", self.bucket_counts[-1]))
+        return items
+
+
+class Registry:
+    """Name-keyed instrument store plus pull-model collectors."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: list[Collector] = []
+
+    # -- instrument creation (get-or-create, so call sites stay terse) -----
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            self._check_fresh(name, self._gauges, self._histograms)
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._check_fresh(name, self._counters, self._histograms)
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_BUCKETS_MS
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._check_fresh(name, self._counters, self._gauges)
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        elif histogram.bounds != tuple(float(b) for b in bounds):
+            raise ConfigError(
+                f"histogram {name!r} re-declared with different bounds"
+            )
+        return histogram
+
+    @staticmethod
+    def _check_fresh(name: str, *others: Mapping[str, object]) -> None:
+        if any(name in table for table in others):
+            raise ConfigError(f"metric {name!r} already exists with another type")
+
+    # -- collectors --------------------------------------------------------
+
+    def register_collector(self, collector: Collector) -> None:
+        """Add a pull-model source consulted on every :meth:`collect`."""
+        self._collectors.append(collector)
+
+    # -- snapshot ----------------------------------------------------------
+
+    def collect(self) -> dict[str, float]:
+        """One flat, name-sorted snapshot of every metric.
+
+        Instruments come first, then collector output; a collector may not
+        shadow an instrument (that would make the snapshot depend on
+        registration order).
+        """
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            for suffix, value in histogram.as_items():
+                out[f"{name}.{suffix}"] = value
+        for collector in self._collectors:
+            for name, value in collector().items():
+                if name in out:
+                    raise ConfigError(
+                        f"collector output {name!r} collides with an "
+                        "existing metric"
+                    )
+                out[name] = value
+        return dict(sorted(out.items()))

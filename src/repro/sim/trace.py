@@ -4,8 +4,14 @@ Debugging a discrete-event protocol means answering "what happened, in
 order, to whom" — :class:`Tracer` records timestamped entries with a
 category and free-form fields, supports category filters and bounded
 buffers, and renders a readable timeline.  The network layer can be tapped
-with :func:`tap_network` to trace every datagram without touching protocol
-code.
+with :func:`tap_network` to trace every datagram — and, when a
+:class:`~repro.net.faults.FaultPlane` is installed, every injected drop
+(``fault.drop``) and latency spike (``fault.delay``) — without touching
+protocol code.
+
+Nothing a bounded buffer loses is lost silently: entries pushed out of a
+full buffer bump :attr:`Tracer.evicted` (the capacity-side twin of
+:attr:`Tracer.dropped_by_filter`), and :meth:`Tracer.render` reports both.
 
 Tracing is strictly opt-in and costs nothing when no tracer is attached.
 """
@@ -56,12 +62,22 @@ class Tracer:
         self._entries: deque[TraceEntry] = deque(maxlen=capacity)
         self.recorded = 0
         self.dropped_by_filter = 0
+        #: entries pushed out of the full buffer by newer ones — the
+        #: capacity-side counterpart of ``dropped_by_filter``.
+        self.evicted = 0
 
-    def record(self, time: float, category: str, **fields: Any) -> None:
-        """Append one entry (silently filtered if category excluded)."""
+    def record(self, time: float, category: str, /, **fields: Any) -> None:
+        """Append one entry (filtered if category excluded, counted either way).
+
+        ``time`` and ``category`` are positional-only so fields may reuse
+        those names (e.g. a ``fault.drop`` event carrying the affected
+        message's ``category``).
+        """
         if self.categories is not None and category not in self.categories:
             self.dropped_by_filter += 1
             return
+        if len(self._entries) == self.capacity:
+            self.evicted += 1
         self._entries.append(
             TraceEntry(time=time, category=category, fields=tuple(fields.items()))
         )
@@ -79,10 +95,24 @@ class Tracer:
         """Entries with start <= time < end."""
         return [e for e in self._entries if start <= e.time < end]
 
+    def summary(self) -> str:
+        """One-line accounting: held / recorded / evicted / filtered."""
+        return (
+            f"{len(self._entries)} held, {self.recorded} recorded, "
+            f"{self.evicted} evicted, {self.dropped_by_filter} filtered"
+        )
+
     def render(self, limit: int = 50) -> str:
-        """The most recent ``limit`` entries as a timeline."""
+        """The most recent ``limit`` entries as a timeline.
+
+        When capacity eviction has discarded entries, a trailing line says
+        how many — a truncated timeline must never read as a complete one.
+        """
         tail = list(self._entries)[-limit:]
-        return "\n".join(e.render() for e in tail)
+        lines = [e.render() for e in tail]
+        if self.evicted:
+            lines.append(f"({self.summary()})")
+        return "\n".join(lines)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -92,6 +122,10 @@ def tap_network(tracer: Tracer, network) -> Tracer:
     """Attach a tracer to a :class:`~repro.net.network.P2PNetwork`.
 
     Every datagram is recorded at send time with src/dst/category/size.
+    Fault-plane interventions are recorded on the same timeline as
+    ``fault.drop`` / ``fault.delay`` entries (carrying the category of the
+    affected message), so injected failures are visible next to the
+    deliveries they perturb.
     """
 
     def observer(msg) -> None:
@@ -103,5 +137,12 @@ def tap_network(tracer: Tracer, network) -> Tracer:
             bytes=msg.size_bytes,
         )
 
+    def fault_observer(kind: str, msg, extra_ms: float) -> None:
+        fields = {"src": msg.src, "dst": msg.dst, "category": msg.category}
+        if kind == "delay":
+            fields["extra_ms"] = extra_ms
+        tracer.record(network.engine.now, f"fault.{kind}", **fields)
+
     network.observers.append(observer)
+    network.fault_observers.append(fault_observer)
     return tracer

@@ -1,0 +1,176 @@
+"""Integration: telemetry capture through the orchestrator + hirep-obs CLI.
+
+Covers the acceptance path end to end: a scheduler run with
+``telemetry_dir`` captures one content-addressed bundle per executed job,
+records it in the run manifest, and ``hirep-obs summarize/timeline/diff``
+work against the captured bundles.  Also pins byte-determinism of bundle
+files across ``PYTHONHASHSEED`` values via subprocesses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exec.job import JobSpec
+from repro.exec.manifest import RunManifest
+from repro.exec.scheduler import SweepScheduler
+from repro.obs.cli import main as obs_main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _spec(seed: int, transactions: int = 4) -> JobSpec:
+    return JobSpec(
+        module="repro.exec.testing",
+        func="tiny_system_job",
+        kwargs={"network_size": 50, "transactions": transactions, "seed": seed},
+    )
+
+
+@pytest.fixture(scope="module")
+def captured(tmp_path_factory):
+    """Two jobs run serially with telemetry; returns (outcomes, manifest path)."""
+    root = tmp_path_factory.mktemp("telemetry")
+    manifest_path = root / "run.jsonl"
+    manifest = RunManifest(manifest_path)
+    scheduler = SweepScheduler(
+        jobs=1, manifest=manifest, telemetry_dir=str(root / "bundles")
+    )
+    outcomes = scheduler.run([_spec(7), _spec(8)])
+    manifest.close()
+    return outcomes, manifest_path
+
+
+class TestSchedulerCapture:
+    def test_each_executed_job_gets_a_bundle(self, captured):
+        outcomes, _ = captured
+        for outcome in outcomes:
+            assert outcome.ok
+            assert outcome.telemetry is not None
+            path = Path(outcome.telemetry["path"])
+            assert (path / "events.jsonl").is_file()
+            assert (path / "trace.json").is_file()
+            assert (path / "metrics.json").is_file()
+            assert path.name == outcome.telemetry["key"]
+
+    def test_manifest_finished_events_reference_bundles(self, captured):
+        outcomes, manifest_path = captured
+        finished = [
+            json.loads(line)
+            for line in manifest_path.read_text().splitlines()
+            if json.loads(line).get("event") == "finished"
+        ]
+        assert {f["telemetry"]["key"] for f in finished} == {
+            o.telemetry["key"] for o in outcomes
+        }
+
+    def test_bundle_meta_records_the_spec(self, captured):
+        outcomes, _ = captured
+        meta = json.loads(
+            (Path(outcomes[0].telemetry["path"]) / "meta.json").read_text()
+        )
+        assert meta["spec"]["module"] == "repro.exec.testing"
+        assert meta["spec"]["kwargs"]["seed"] == 7
+
+    def test_cache_hits_carry_no_telemetry(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        kwargs = dict(
+            cache=cache, telemetry_dir=str(tmp_path / "bundles"), jobs=1
+        )
+        first = SweepScheduler(**kwargs).run([_spec(9, transactions=2)])
+        assert first[0].telemetry is not None
+        replay = SweepScheduler(**kwargs).run([_spec(9, transactions=2)])
+        assert replay[0].cached and replay[0].telemetry is None
+
+    def test_no_telemetry_dir_means_no_bundles(self, tmp_path):
+        outcomes = SweepScheduler(jobs=1).run([_spec(11, transactions=2)])
+        assert outcomes[0].ok and outcomes[0].telemetry is None
+
+
+class TestObsCli:
+    def test_summarize(self, captured, capsys):
+        outcomes, _ = captured
+        assert obs_main(["summarize", outcomes[0].telemetry["path"]]) == 0
+        out = capsys.readouterr().out
+        assert "events by category" in out
+        assert "span latency" in out
+        assert "transaction" in out
+        assert "net.messages.total" in out
+
+    def test_timeline_with_category_filter(self, captured, capsys):
+        outcomes, _ = captured
+        assert (
+            obs_main(
+                [
+                    "timeline",
+                    outcomes[0].telemetry["path"],
+                    "-c",
+                    "txn",
+                    "--limit",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4  # the 4 transaction spans, nothing else
+        assert all("transaction" in line for line in lines)
+
+    def test_diff_identical_and_different(self, captured, capsys):
+        outcomes, _ = captured
+        a = outcomes[0].telemetry["path"]
+        b = outcomes[1].telemetry["path"]
+        assert obs_main(["diff", a, a, "--exit-code"]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert obs_main(["diff", a, b, "--exit-code"]) == 1
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+
+    def test_rejects_non_bundle_path(self, tmp_path):
+        with pytest.raises(SystemExit):
+            obs_main(["summarize", str(tmp_path)])
+
+
+_CAPTURE_SCRIPT = """
+import sys
+from repro.exec.worker import execute_spec
+
+envelope = execute_spec(
+    {
+        "module": "repro.exec.testing",
+        "func": "tiny_system_job",
+        "kwargs": {"network_size": 50, "transactions": 3, "seed": 7},
+    },
+    sys.argv[1],
+)
+print(envelope["telemetry"]["path"])
+"""
+
+
+class TestByteDeterminism:
+    def test_bundles_identical_across_pythonhashseed(self, tmp_path):
+        """Same seed, different hash randomization -> byte-identical files."""
+        paths = []
+        for hashseed, sub in (("0", "a"), ("4242", "b")):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = str(REPO_SRC)
+            result = subprocess.run(
+                [sys.executable, "-c", _CAPTURE_SCRIPT, str(tmp_path / sub)],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            paths.append(Path(result.stdout.strip()))
+        for name in ("events.jsonl", "trace.json", "metrics.json"):
+            assert (paths[0] / name).read_bytes() == (paths[1] / name).read_bytes()
+        assert paths[0].name == paths[1].name  # content-addressed key matches

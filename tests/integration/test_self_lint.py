@@ -25,6 +25,7 @@ def test_bundled_rule_set_is_complete():
         "DET002",
         "DET003",
         "EXC001",
+        "OBS001",
     ]
 
 

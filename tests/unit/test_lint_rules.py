@@ -256,6 +256,41 @@ def test_arc001_pragma_suppresses():
     assert codes(src, module="repro.experiments.fake") == []
 
 
+# ---------------------------------------------------------------- OBS001
+
+
+def test_obs001_flags_print_in_library_code():
+    # annotated so API001 (repro.core/exec scope) stays quiet
+    src = "def handle(msg: str) -> None:\n    print('delivered', msg)\n"
+    for module in (
+        "repro.sim.engine",
+        "repro.net.network",
+        "repro.core.peer",
+        "repro.exec.scheduler",
+        "repro.obs.plane",
+    ):
+        assert codes(src, module=module) == ["OBS001"], module
+
+
+def test_obs001_exempts_terminal_facing_modules():
+    src = "print('72% done')\n"
+    assert codes(src, module="repro.exec.progress") == []
+    assert codes(src, module="repro.obs.cli") == []
+    # experiments and examples are user-facing output; out of scope
+    assert codes(src, module="repro.experiments.runner") == []
+    assert codes(src, module=None) == []
+
+
+def test_obs001_ignores_shadowed_and_attribute_prints():
+    src = "def run(printer):\n    printer.print('x')\n"
+    assert codes(src, module="repro.sim.fake") == []
+
+
+def test_obs001_pragma_suppresses():
+    src = "print('banner')  # lint: allow[OBS001]\n"
+    assert codes(src, module="repro.core.fake") == []
+
+
 # ---------------------------------------------------------------- pragmas
 
 

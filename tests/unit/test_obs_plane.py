@@ -1,0 +1,149 @@
+"""Unit tests for the telemetry plane (repro.obs.plane).
+
+Uses the ``small_system`` fixture (a bootstrapped HiRepSystem) and checks
+the observability contract end to end: span nesting/ordering at a fixed
+seed, metric absorption, fault-event capture, and zero-cost detachment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import TransactionRuntime
+from repro.obs.plane import TelemetryPlane
+
+
+@pytest.fixture
+def traced(small_system):
+    plane = TelemetryPlane()
+    plane.attach(small_system)
+    small_system.run(3, requestor=0)
+    return plane, small_system
+
+
+class TestSpans:
+    def test_one_txn_span_per_transaction(self, traced):
+        plane, system = traced
+        txns = [s for s in plane.spans.spans() if s.category == "txn"]
+        assert len(txns) == 3
+        assert all(s.finished for s in txns)
+        assert [s.attrs["index"] for s in txns] == [0, 1, 2]
+        assert txns[0].attrs["requestor"] == 0
+
+    def test_phase_children_nest_inside_their_transaction(self, traced):
+        plane, _ = traced
+        for txn in (s for s in plane.spans.spans() if s.category == "txn"):
+            phases = [
+                s for s in plane.spans.children_of(txn) if s.category == "phase"
+            ]
+            names = [s.name for s in phases]
+            assert names == [
+                n for n in ("query", "votes", "report") if n in names
+            ], "phases must come out in protocol order"
+            assert "query" in names and "report" in names
+            for phase in phases:
+                assert phase.start_ms >= txn.start_ms
+                assert phase.end_ms <= txn.end_ms
+
+    def test_flight_spans_parented_under_open_txn(self, traced):
+        plane, _ = traced
+        flights = [s for s in plane.spans.spans() if s.category == "msg"]
+        assert flights, "dispatcher tap should have produced flight spans"
+        txn_ids = {s.span_id for s in plane.spans.spans() if s.category == "txn"}
+        assert all(s.parent_id in txn_ids for s in flights)
+        assert all(s.finished and s.duration_ms >= 0.0 for s in flights)
+
+    def test_flight_spans_can_be_disabled(self, small_system):
+        plane = TelemetryPlane(flight_spans=False)
+        plane.attach(small_system)
+        small_system.run(1)
+        assert [s for s in plane.spans.spans() if s.category == "msg"] == []
+
+    def test_span_ordering_deterministic_at_fixed_seed(self, small_config):
+        from repro.core.system import HiRepSystem
+
+        def signature():
+            system = HiRepSystem(small_config)
+            system.bootstrap()
+            plane = TelemetryPlane()
+            plane.attach(system)
+            system.run(3, requestor=0)
+            return [
+                (s.span_id, s.parent_id, s.name, s.start_ms, s.end_ms)
+                for s in plane.spans.spans()
+            ]
+
+        assert signature() == signature()
+
+
+class TestMetrics:
+    def test_registry_absorbs_system_silos(self, traced):
+        plane, system = traced
+        snap = plane.collect()
+        assert snap["net.messages.total"] == system.counter.total
+        assert snap["transactions"] == 3
+        assert snap["trust.mse"] == pytest.approx(system.mse.mse())
+        assert snap["retry.retries_sent"] == system.retry_stats()["retries_sent"]
+        assert snap["span_ms[transaction].count"] == 3
+        assert snap["obs.spans.recorded"] == len(plane.spans)
+
+    def test_second_attachment_gets_label_prefix(self, small_config):
+        from repro.core.system import HiRepSystem
+
+        a = HiRepSystem(small_config)
+        a.bootstrap()
+        b = HiRepSystem(small_config)
+        b.bootstrap()
+        plane = TelemetryPlane()
+        plane.attach(a)
+        plane.attach(b)
+        assert plane.labels() == ["", "sys1"]
+        snap = plane.collect()
+        assert "net.messages.total" in snap
+        assert "sys1.net.messages.total" in snap
+
+
+class TestFaultEvents:
+    def test_injected_drops_and_delays_are_on_the_timeline(self, small_system):
+        from repro.net.faults import FaultPlane, LatencySpike, MessageLoss
+
+        plane = TelemetryPlane()
+        plane.attach(small_system)
+        FaultPlane(
+            [MessageLoss(0.3), LatencySpike(0.3, 250.0)], seed=3
+        ).install(small_system.network)
+        small_system.run(2)
+        drops = plane.tracer.entries("fault.drop")
+        delays = plane.tracer.entries("fault.delay")
+        assert drops or delays
+        if drops:
+            assert drops[0].get("category") is not None
+        if delays:
+            assert delays[0].get("extra_ms") > 0.0
+        snap = plane.collect()
+        assert (
+            snap.get("obs.fault.drops", 0) + snap.get("obs.fault.delays", 0) > 0
+        )
+        assert "fault.messages_seen" in snap
+
+
+class TestZeroCost:
+    def test_unattached_system_keeps_class_run_transaction(self, small_system):
+        assert "run_transaction" not in vars(small_system)
+
+    def test_attach_shadows_instance_only(self, traced, small_config):
+        _, system = traced
+        assert "run_transaction" in vars(system)
+        from repro.core.system import HiRepSystem
+
+        fresh = HiRepSystem(small_config)
+        assert "run_transaction" not in vars(fresh)
+        assert type(system).run_transaction is not system.run_transaction
+
+    def test_network_has_no_observers_without_attach(self, small_system):
+        assert small_system.network.observers == []
+        assert small_system.network.fault_observers == []
+        assert small_system.dispatcher.tracer is None
+
+    def test_runtime_base_class_untouched(self):
+        assert "run_transaction" in vars(TransactionRuntime)

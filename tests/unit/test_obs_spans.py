@@ -1,0 +1,77 @@
+"""Unit tests for hierarchical sim-time spans (repro.obs.spans)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.spans import SpanRecorder
+
+
+class TestSpanLifecycle:
+    def test_begin_finish(self):
+        rec = SpanRecorder()
+        span = rec.begin("txn", start_ms=10.0, category="txn", index=0)
+        assert not span.finished
+        assert math.isnan(span.duration_ms)
+        rec.finish(span, 25.0, messages=4)
+        assert span.finished
+        assert span.duration_ms == 15.0
+        assert span.attrs == {"index": 0, "messages": 4}
+
+    def test_ids_are_sequential_in_begin_order(self):
+        rec = SpanRecorder()
+        ids = [rec.begin(f"s{i}", start_ms=float(i)).span_id for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_double_finish_rejected(self):
+        rec = SpanRecorder()
+        span = rec.emit("s", 0.0, 1.0)
+        with pytest.raises(ConfigError):
+            rec.finish(span, 2.0)
+
+    def test_end_before_start_rejected(self):
+        rec = SpanRecorder()
+        span = rec.begin("s", start_ms=5.0)
+        with pytest.raises(ConfigError):
+            rec.finish(span, 4.0)
+
+    def test_context_manager_uses_clock(self):
+        rec = SpanRecorder()
+        now = [100.0]
+        with rec.span("phase", lambda: now[0]) as span:
+            now[0] = 130.0
+        assert span.start_ms == 100.0
+        assert span.end_ms == 130.0
+
+
+class TestHierarchy:
+    def test_children_and_roots(self):
+        rec = SpanRecorder()
+        txn = rec.begin("txn", start_ms=0.0)
+        q = rec.emit("query", 0.0, 5.0, parent=txn)
+        v = rec.emit("votes", 5.0, 9.0, parent=txn)
+        rec.finish(txn, 10.0)
+        other = rec.emit("txn", 20.0, 30.0)
+        assert rec.roots() == [txn, other]
+        assert rec.children_of(txn) == [q, v]
+        assert rec.children_of(other) == []
+        assert [s.name for s in rec.spans("txn")] == ["txn", "txn"]
+        assert len(rec) == 4
+
+    def test_out_of_order_finish_supported(self):
+        """Phase spans are derived after their parent closes."""
+        rec = SpanRecorder()
+        txn = rec.begin("txn", start_ms=0.0)
+        rec.finish(txn, 50.0)
+        child = rec.emit("report", 40.0, 48.0, parent=txn)
+        assert child.parent_id == txn.span_id
+
+    def test_render_mentions_name_and_duration(self):
+        rec = SpanRecorder()
+        span = rec.emit("query", 0.0, 12.5, src=3)
+        text = span.render()
+        assert "query" in text and "12.500" in text and "src=3" in text
+        assert "open" in rec.begin("x", start_ms=0.0).render()

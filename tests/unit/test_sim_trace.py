@@ -31,6 +31,42 @@ class TestTracer:
         assert [e.get("i") for e in tracer.entries()] == [7, 8, 9]
         assert tracer.recorded == 10
 
+    def test_eviction_is_counted_never_silent(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.record(float(i), "tick", i=i)
+        assert tracer.evicted == 7
+        # filtered entries never occupy the buffer, so they can't evict
+        filtered = Tracer(capacity=2, categories={"keep"})
+        for i in range(5):
+            filtered.record(float(i), "drop")
+        assert filtered.evicted == 0
+        assert filtered.dropped_by_filter == 5
+
+    def test_summary_accounts_for_every_entry(self):
+        tracer = Tracer(capacity=2, categories={"keep"})
+        tracer.record(1.0, "drop")
+        for t in (2.0, 3.0, 4.0):
+            tracer.record(t, "keep")
+        assert tracer.summary() == "2 held, 3 recorded, 1 evicted, 1 filtered"
+
+    def test_render_reports_eviction(self):
+        tracer = Tracer(capacity=2)
+        for t in (1.0, 2.0, 3.0):
+            tracer.record(t, "x")
+        assert "1 evicted" in tracer.render()
+        # without eviction the timeline stays bare (backward compatible)
+        clean = Tracer()
+        clean.record(1.0, "x")
+        assert "evicted" not in clean.render()
+
+    def test_fields_may_reuse_envelope_names(self):
+        tracer = Tracer()
+        tracer.record(1.0, "fault.drop", category="trust_query", time=9)
+        entry = tracer.entries()[0]
+        assert entry.category == "fault.drop"
+        assert entry.get("category") == "trust_query"
+
     def test_between(self):
         tracer = Tracer()
         for t in (1.0, 2.0, 3.0, 4.0):
@@ -89,3 +125,53 @@ class TestNetworkTap:
         assert "trust_query" in categories
         assert "trust_response" in categories
         assert "transaction_report" in categories
+
+    def test_traces_fault_plane_interventions(self):
+        from repro.net.faults import FaultPlane, LatencySpike, MessageLoss
+        from repro.net.latency import ConstantLatency
+        from repro.net.network import P2PNetwork
+        from repro.net.topology import ring_lattice
+
+        net = P2PNetwork(
+            ring_lattice(6, k=1),
+            np.random.default_rng(0),
+            latency_model=ConstantLatency(5.0),
+            model_transmission=False,
+        )
+        FaultPlane([MessageLoss(1.0)], seed=1).install(net)
+        tracer = tap_network(Tracer(), net)
+        net.send(0, 3, "x", category="trust_query")
+        drops = tracer.entries("fault.drop")
+        assert len(drops) == 1
+        assert drops[0].get("src") == 0
+        assert drops[0].get("category") == "trust_query"
+
+        delayed = P2PNetwork(
+            ring_lattice(6, k=1),
+            np.random.default_rng(0),
+            latency_model=ConstantLatency(5.0),
+            model_transmission=False,
+        )
+        FaultPlane([LatencySpike(1.0, 300.0)], seed=1).install(delayed)
+        tracer2 = tap_network(Tracer(), delayed)
+        delayed.send(0, 3, "x", category="trust_query")
+        spikes = tracer2.entries("fault.delay")
+        assert len(spikes) == 1
+        assert spikes[0].get("extra_ms") == pytest.approx(300.0)
+
+    def test_fault_observers_idle_without_fault_plane(self):
+        from repro.net.latency import ConstantLatency
+        from repro.net.network import P2PNetwork
+        from repro.net.topology import ring_lattice
+
+        net = P2PNetwork(
+            ring_lattice(4, k=1),
+            np.random.default_rng(0),
+            latency_model=ConstantLatency(5.0),
+            model_transmission=False,
+        )
+        tracer = tap_network(Tracer(), net)
+        net.send(0, 1, "x", category="control")
+        assert tracer.entries("fault.drop") == []
+        assert tracer.entries("fault.delay") == []
+        assert len(tracer.entries("control")) == 1
