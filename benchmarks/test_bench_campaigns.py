@@ -1,0 +1,73 @@
+"""Bench: campaign fan-out overhead vs raw orchestrator jobs.
+
+Runs the same cells twice — once as bare ``repro.exec`` jobs (compile the
+campaign, hand the specs straight to the scheduler) and once through
+``run_campaign`` (which adds scorecard aggregation, delta computation and
+report assembly) — and records cells/sec for both plus the DSL's overhead.
+The engine's promise is that campaigns are a *thin* declarative layer over
+the orchestrator; this benchmark keeps that claim measured.
+"""
+
+import time
+
+from repro.campaigns.report import run_campaign
+from repro.campaigns.specs import (
+    AttackSpec,
+    Campaign,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+from repro.exec import SweepScheduler
+
+_WORKLOAD = WorkloadSpec(network_size=60, transactions=20)
+
+
+def bench_campaign() -> Campaign:
+    return Campaign(
+        name="bench",
+        scenarios=(
+            ScenarioSpec(name="clean", workload=_WORKLOAD),
+            ScenarioSpec(
+                name="sybil",
+                workload=_WORKLOAD,
+                attack=AttackSpec.sybil(count=10, compromised_fraction=0.2),
+            ),
+            ScenarioSpec(
+                name="collude",
+                workload=_WORKLOAD,
+                attack=AttackSpec.collusion(0.3),
+            ),
+        ),
+        systems=("hirep", "voting"),
+        seeds=(2006,),
+    )
+
+
+def test_bench_campaign_overhead(benchmark, run_once):
+    campaign = bench_campaign()
+    specs = campaign.compile()
+    cells = len(specs)
+    assert cells == 6
+
+    raw_start = time.perf_counter()
+    raw_outcomes = SweepScheduler(jobs=1).run(specs)
+    raw_s = time.perf_counter() - raw_start
+    assert all(o.ok for o in raw_outcomes)
+
+    report, outcomes = run_once(lambda: run_campaign(campaign))
+    campaign_s = benchmark.stats.stats.mean
+    assert all(o.ok for o in outcomes)
+    assert report["summary"]["cells_ok"] == cells
+
+    overhead_s = campaign_s - raw_s
+    benchmark.extra_info["cells"] = cells
+    benchmark.extra_info["raw_cells_per_s"] = round(cells / raw_s, 2)
+    benchmark.extra_info["campaign_cells_per_s"] = round(cells / campaign_s, 2)
+    benchmark.extra_info["dsl_overhead_s"] = round(overhead_s, 3)
+    benchmark.extra_info["dsl_overhead_pct"] = round(100.0 * overhead_s / raw_s, 1)
+    print()
+    print(
+        f"{cells} cells: raw exec {cells / raw_s:.2f} cells/s, "
+        f"campaign {cells / campaign_s:.2f} cells/s "
+        f"(DSL overhead {overhead_s * 1e3:+.0f} ms, {100.0 * overhead_s / raw_s:+.1f}%)"
+    )

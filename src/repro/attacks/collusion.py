@@ -45,11 +45,11 @@ def sweep_attacker_ratio(
     poor; for voting it sets the fraction of *voters* that are malicious —
     the same interpretation the paper uses.
     """
+    from repro.campaigns.specs import AttackSpec
+
     points: list[CollusionPoint] = []
     for ratio in ratios:
-        cfg = base_config.with_(
-            poor_agent_fraction=ratio, malicious_fraction=ratio
-        )
+        cfg = AttackSpec.collusion(ratio).transform_config(base_config, protocol=True)
         hirep = HiRepSystem(cfg)
         hirep.bootstrap()
         hirep.reset_metrics()

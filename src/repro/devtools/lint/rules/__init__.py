@@ -8,9 +8,17 @@ decorate it with ``@register``, and import the module below.
 from repro.devtools.lint.rules import (
     api,
     architecture,
+    campaigns,
     determinism,
     execution,
     observability,
 )
 
-__all__ = ["api", "architecture", "determinism", "execution", "observability"]
+__all__ = [
+    "api",
+    "architecture",
+    "campaigns",
+    "determinism",
+    "execution",
+    "observability",
+]

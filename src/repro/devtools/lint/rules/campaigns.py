@@ -1,0 +1,62 @@
+"""CMP001: campaign factories handed to ``register_campaign`` must be
+module-level callables.
+
+Campaign cells cross process boundaries: ``Campaign.compile()`` produces
+jobs that worker processes re-import by dotted name, and the catalogue is
+re-imported inside every worker.  A factory defined as a lambda or inside
+another function exists only in the registering frame — the catalogue a
+worker imports will not contain it, so the sweep silently loses those
+scenarios (or the registration never happens at all in the worker).  The
+fix is the same as EXC001's: lift the factory to module level
+(``functools.partial`` over a module-level function is fine and is
+unwrapped before judging).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+from repro.devtools.lint.rules.execution import _local_function_names, _unwrap_partial
+
+_SINK = "register_campaign"
+
+
+@register
+class ModuleLevelCampaignFactories(Rule):
+    """CMP001: no lambdas/closures registered as campaign factories."""
+
+    code = "CMP001"
+    name = "campaign factories must be module-level (re-importable in workers)"
+    packages = ("repro",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        locals_ = _local_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            if callee != _SINK or not node.args:
+                continue
+            arg = _unwrap_partial(node.args[0])
+            if isinstance(arg, ast.Lambda):
+                yield ctx.finding(
+                    self,
+                    arg,
+                    f"lambda passed to {_SINK}: worker processes re-import "
+                    "the catalogue and will not see a factory that exists "
+                    "only in this frame; define a module-level function",
+                )
+            elif isinstance(arg, ast.Name) and arg.id in locals_:
+                yield ctx.finding(
+                    self,
+                    arg,
+                    f"nested function `{arg.id}` passed to {_SINK}: campaign "
+                    "factories must be importable from the module's top "
+                    "level so compiled cells can rebuild the catalogue in "
+                    "worker processes",
+                )

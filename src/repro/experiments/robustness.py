@@ -27,12 +27,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.attacks.dos import restore_agents, take_down_top_agents
-from repro.attacks.models import install_recommendation_attack
 from repro.attacks.spoofing import mount_spoofing_attack
-from repro.attacks.sybil import SybilOperator
 from repro.core.registry import build_system
 from repro.experiments.common import ExperimentResult, Series
-from repro.net.faults import CrashWindow, CrashSchedule, FaultPlane, MessageLoss
+from repro.net.faults import FaultPlane
 from repro.workloads.scenarios import default_config
 
 __all__ = [
@@ -56,6 +54,12 @@ def _small(network_size: int, seed: int):
 
 
 def run(network_size: int = 250, seed: int = 2006) -> ExperimentResult:
+    # Imported here, not at module top: repro.campaigns sits above the
+    # experiments layer in the import graph (its specs pull in repro.exec,
+    # which renders progress via repro.experiments.common).
+    from repro.campaigns.attach import attach_attack
+    from repro.campaigns.specs import AttackSpec
+
     result = ExperimentResult(
         experiment_id="robust42",
         title="Robustness against §4.2 attacks",
@@ -91,7 +95,7 @@ def run(network_size: int = 250, seed: int = 2006) -> ExperimentResult:
     clean_mse = clean.mse.tail_mse(50)
 
     attacked = build_system("hirep", _small(network_size, seed))
-    install_recommendation_attack(attacked, attacker_fraction=0.3, rng=rng)
+    attach_attack(attacked, AttackSpec.recommendation(fraction=0.3), rng)
     attacked.bootstrap()
     attacked.reset_metrics()
     attacked.run(150, requestor=0)
@@ -105,9 +109,9 @@ def run(network_size: int = 250, seed: int = 2006) -> ExperimentResult:
 
     # --- 3. sybil damping -----------------------------------------------------
     sybil_sys = build_system("hirep", _small(network_size, seed))
-    host = next(iter(sybil_sys.agents))
-    operator = SybilOperator(sybil_sys, host, count=15, rng=rng)
-    operator.install(compromised=set(range(0, network_size, 7)))
+    attach_attack(
+        sybil_sys, AttackSpec.sybil(count=15, compromised_fraction=0.15), rng
+    )
     sybil_sys.bootstrap()
     sybil_sys.reset_metrics()
     sybil_sys.run(40, requestor=0)
@@ -151,27 +155,6 @@ def run(network_size: int = 250, seed: int = 2006) -> ExperimentResult:
     return result
 
 
-def _crash_windows(
-    network_size: int, crash_fraction: float, *, exclude: set[int]
-) -> list[CrashWindow]:
-    """Deterministic staggered crash windows over ``crash_fraction`` nodes.
-
-    Nodes are picked by even stride (no RNG, so the sweep cells differ only
-    in the knob under study); each victim crashes 1 s after the previous
-    one and stays dead for 8 s — long enough to span several transactions,
-    short enough that recovery is observable within a run.
-    """
-    count = int(round(crash_fraction * network_size))
-    if count <= 0:
-        return []
-    stride = max(1, network_size // count)
-    victims = [n for n in range(1, network_size, stride) if n not in exclude]
-    return [
-        CrashWindow(node=node, start_ms=1_000.0 * (i + 1), end_ms=1_000.0 * (i + 1) + 8_000.0)
-        for i, node in enumerate(victims[:count])
-    ]
-
-
 def degradation_cell(
     network_size: int = 120,
     seed: int = 2006,
@@ -186,17 +169,16 @@ def degradation_cell(
     across worker processes; the serial sweep calls the very same
     function, which is what keeps ``--jobs N`` bit-identical to serial.
     """
+    from repro.campaigns.specs import FaultSpec
+
     cfg = _small(network_size, seed).with_(
         query_timeout_ms=2_000.0,
         max_query_retries=2,
         agent_miss_limit=3,
     )
-    models = []
-    if loss > 0:
-        models.append(MessageLoss(loss))
-    windows = _crash_windows(network_size, crash_fraction, exclude={0})
-    if windows:
-        models.append(CrashSchedule(windows))
+    models = FaultSpec(loss=loss, crash_fraction=crash_fraction).build_models(
+        network_size, exclude={0}
+    )
     plane = FaultPlane(models, seed=seed + 17) if models else None
     system = build_system("hirep", cfg, faults=plane)
     system.bootstrap()

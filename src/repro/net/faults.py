@@ -49,6 +49,7 @@ __all__ = [
     "CrashWindow",
     "Bisection",
     "FaultPlane",
+    "staggered_crash_windows",
 ]
 
 
@@ -269,6 +270,39 @@ class CrashSchedule(FaultModel):
                 engine.schedule(
                     max(w.end_ms, engine.now), recover, label="fault_recover"
                 )
+
+
+def staggered_crash_windows(
+    network_size: int,
+    crash_fraction: float,
+    *,
+    exclude: set[int] | None = None,
+    stagger_ms: float = 1_000.0,
+    down_ms: float = 8_000.0,
+) -> list[CrashWindow]:
+    """Deterministic staggered crash windows over ``crash_fraction`` nodes.
+
+    Nodes are picked by even stride (no RNG, so sweep cells differ only in
+    the knob under study); each victim crashes ``stagger_ms`` after the
+    previous one and stays dead for ``down_ms`` — long enough to span
+    several transactions, short enough that recovery is observable within
+    a run.  Shared by the degradation sweep and the campaign engine's
+    :class:`~repro.campaigns.specs.FaultSpec`.
+    """
+    exclude = exclude or set()
+    count = int(round(crash_fraction * network_size))
+    if count <= 0:
+        return []
+    stride = max(1, network_size // count)
+    victims = [n for n in range(1, network_size, stride) if n not in exclude]
+    return [
+        CrashWindow(
+            node=node,
+            start_ms=stagger_ms * (i + 1),
+            end_ms=stagger_ms * (i + 1) + down_ms,
+        )
+        for i, node in enumerate(victims[:count])
+    ]
 
 
 class Bisection(FaultModel):

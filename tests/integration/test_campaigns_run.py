@@ -1,0 +1,225 @@
+"""End-to-end campaign runs: CLI, cache replay, strict mode, determinism.
+
+The acceptance claims for the campaign engine:
+
+* a second ``hirep-campaign run`` over the same output directory satisfies
+  every cell from the result cache and writes byte-identical reports;
+* reports are byte-identical across ``PYTHONHASHSEED`` values and across
+  serial vs pool execution;
+* a scenario that cannot even be built degrades its cells with a
+  structured ``cell_error`` instead of crashing the sweep, and
+  ``--strict`` turns that into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns.catalogue import CAMPAIGNS, register_campaign
+from repro.campaigns.cli import main
+from repro.campaigns.specs import (
+    AttackSpec,
+    Campaign,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_TINY = WorkloadSpec(network_size=30, transactions=10)
+
+
+def itest_campaign() -> Campaign:
+    return Campaign(
+        name="itest-tiny",
+        scenarios=(
+            ScenarioSpec(name="clean", workload=_TINY),
+            ScenarioSpec(
+                name="sybil",
+                workload=_TINY,
+                attack=AttackSpec.sybil(count=6, compromised_fraction=0.2),
+            ),
+        ),
+        systems=("hirep", "voting"),
+        seeds=(11,),
+    )
+
+
+def itest_broken_campaign() -> Campaign:
+    return Campaign(
+        name="itest-broken",
+        scenarios=(
+            ScenarioSpec(name="clean", workload=_TINY),
+            ScenarioSpec(
+                name="unbuildable",
+                workload=WorkloadSpec(
+                    network_size=30,
+                    transactions=10,
+                    overrides={"no_such_knob": 1},
+                ),
+            ),
+        ),
+        systems=("hirep",),
+        seeds=(11,),
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _registered():
+    register_campaign(itest_campaign)
+    register_campaign(itest_broken_campaign)
+    yield
+    CAMPAIGNS.pop("itest-tiny", None)
+    CAMPAIGNS.pop("itest-broken", None)
+
+
+class TestCacheReplay:
+    def test_second_run_all_cached_and_byte_identical(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main(["run", "itest-tiny", "--out", str(out)]) == 0
+        first_json = (out / "report.json").read_bytes()
+        first_md = (out / "report.md").read_bytes()
+        capsys.readouterr()
+
+        assert main(["run", "itest-tiny", "--out", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "4 cells (4 cached, 0 failed)" in err
+        assert (out / "report.json").read_bytes() == first_json
+        assert (out / "report.md").read_bytes() == first_md
+
+    def test_pool_mode_matches_serial(self, tmp_path):
+        serial = tmp_path / "serial"
+        pool = tmp_path / "pool"
+        assert main(["run", "itest-tiny", "--out", str(serial)]) == 0
+        assert main(["run", "itest-tiny", "--out", str(pool), "-j", "2"]) == 0
+        assert (serial / "report.json").read_bytes() == (pool / "report.json").read_bytes()
+
+
+class TestStrictMode:
+    def test_broken_scenario_degrades_not_crashes(self, tmp_path, capsys):
+        out = tmp_path / "broken"
+        assert main(["run", "itest-broken", "--out", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "degraded cells: unbuildable/hirep" in err
+        report = __import__("json").loads((out / "report.json").read_text())
+        card = next(
+            c for c in report["scorecards"] if c["scenario"] == "unbuildable"
+        )
+        assert card["degraded"]
+        assert card["errors"][0]["stage"] == "config"
+        assert card["errors"][0]["type"] == "TypeError"
+        clean = next(c for c in report["scorecards"] if c["scenario"] == "clean")
+        assert not clean["degraded"] and clean["metrics"]
+
+    def test_strict_exits_nonzero(self, tmp_path, capsys):
+        out = tmp_path / "strict"
+        assert main(["run", "itest-broken", "--out", str(out), "--strict"]) == 2
+        capsys.readouterr()
+
+    def test_strict_passes_on_healthy_campaign(self, tmp_path, capsys):
+        out = tmp_path / "healthy"
+        assert main(["run", "itest-tiny", "--out", str(out), "--strict"]) == 0
+        capsys.readouterr()
+
+
+class TestCliSurface:
+    def test_list_and_plan(self, capsys):
+        assert main(["list", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "mini" in out and "sybil-wave" in out
+        assert main(["plan", "itest-tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "itest-tiny/sybil[voting,seed=11]" in out
+
+    def test_report_and_diff_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "r"
+        assert main(["run", "itest-tiny", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out / "report.json")]) == 0
+        md = capsys.readouterr().out
+        assert (out / "report.md").read_text() == md
+        assert (
+            main(
+                [
+                    "diff",
+                    str(out / "report.json"),
+                    str(out / "report.json"),
+                    "--exit-code",
+                ]
+            )
+            == 0
+        )
+
+    def test_diff_exit_code_on_difference(self, tmp_path, capsys):
+        out = tmp_path / "d"
+        assert main(["run", "itest-tiny", "--out", str(out)]) == 0
+        import json
+
+        report = json.loads((out / "report.json").read_text())
+        report["scorecards"][0]["metrics"]["mse"] += 1.0
+        (out / "tampered.json").write_text(json.dumps(report))
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "diff",
+                    str(out / "report.json"),
+                    str(out / "tampered.json"),
+                    "--exit-code",
+                ]
+            )
+            == 1
+        )
+        assert "metrics.mse" in capsys.readouterr().out
+
+
+class TestGoldenReport:
+    def test_committed_golden_matches_fresh_mini_run(self, tmp_path, capsys):
+        """tests/data/mini_campaign_golden.json is what `run mini` produces today.
+
+        CI diffs a fresh run against this file; this test keeps the local
+        suite equally honest, so a drift in trust math, attack attachment
+        or the fault plane is caught before push.
+        """
+        out = tmp_path / "mini"
+        assert main(["run", "mini", "--out", str(out)]) == 0
+        capsys.readouterr()
+        golden = REPO_ROOT / "tests" / "data" / "mini_campaign_golden.json"
+        assert golden.read_bytes() == (out / "report.json").read_bytes()
+
+
+_RUN_SCRIPT = """
+import sys
+from repro.campaigns.cli import main
+
+sys.exit(main(["run", "mini", "--out", sys.argv[1]]))
+"""
+
+
+class TestByteDeterminism:
+    def test_report_identical_across_pythonhashseed(self, tmp_path):
+        paths = []
+        for hashseed, sub in (("0", "a"), ("4242", "b")):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            out = tmp_path / sub
+            subprocess.run(
+                [sys.executable, "-c", _RUN_SCRIPT, str(out)],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=REPO_ROOT,
+            )
+            paths.append(out)
+        assert (paths[0] / "report.json").read_bytes() == (
+            paths[1] / "report.json"
+        ).read_bytes()
+        assert (paths[0] / "report.md").read_bytes() == (
+            paths[1] / "report.md"
+        ).read_bytes()

@@ -1,0 +1,197 @@
+"""The campaign DSL: validation, round-trips, canonical hashing."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns.specs import (
+    ATTACK_KINDS,
+    AttackSpec,
+    Campaign,
+    ChurnSpec,
+    FaultSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.errors import ConfigError
+from repro.exec.job import job_key
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def scenario(name: str = "s") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        workload=WorkloadSpec(network_size=60, transactions=25, overrides={"tokens": 8}),
+        attack=AttackSpec.sybil(count=9, compromised_fraction=0.2),
+        fault=FaultSpec(loss=0.1, crash_fraction=0.1),
+        churn=ChurnSpec(leave_prob=0.05),
+        topology=TopologySpec(kind="random", avg_neighbors=5.0),
+    )
+
+
+class TestValidation:
+    def test_attack_kinds_closed(self):
+        with pytest.raises(ConfigError, match="unknown attack kind"):
+            AttackSpec(kind="ddos")
+        assert "none" in ATTACK_KINDS and "sybil" in ATTACK_KINDS
+
+    def test_attack_intensity_requirements(self):
+        with pytest.raises(ConfigError):
+            AttackSpec(kind="sybil", count=0)
+        with pytest.raises(ConfigError):
+            AttackSpec(kind="whitewash", count=0, fraction=0.1)
+        with pytest.raises(ConfigError):
+            AttackSpec(kind="whitewash", count=2, fraction=0.0)
+        with pytest.raises(ConfigError):
+            AttackSpec(kind="oscillation", fraction=0.0)
+        with pytest.raises(ConfigError):
+            AttackSpec(kind="recommendation", fraction=0.0)
+
+    def test_collusion_allows_zero_ratio(self):
+        # attacker-ratio sweeps include the zero point
+        spec = AttackSpec.collusion(0.0)
+        assert spec.active
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            AttackSpec(kind="collusion", fraction=1.5)
+        with pytest.raises(ConfigError):
+            FaultSpec(loss=-0.1)
+        with pytest.raises(ConfigError):
+            ChurnSpec(leave_prob=2.0)
+
+    def test_fault_window_and_topology(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(bisection_start_ms=10.0, bisection_end_ms=5.0)
+        with pytest.raises(ConfigError):
+            TopologySpec(kind="torus")
+        with pytest.raises(ConfigError):
+            WorkloadSpec(network_size=1)
+
+    def test_workload_overrides_must_be_json(self):
+        with pytest.raises(ConfigError, match="JSON"):
+            WorkloadSpec(overrides={"bad": object()})
+
+    def test_campaign_needs_unique_scenarios(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            Campaign(name="c", scenarios=(scenario("x"), scenario("x")))
+        with pytest.raises(ConfigError, match="at least one scenario"):
+            Campaign(name="c", scenarios=())
+        with pytest.raises(ConfigError, match="at least one system"):
+            Campaign(name="c", scenarios=(scenario(),), systems=())
+
+
+class TestRoundTrips:
+    def test_scenario_round_trip(self):
+        spec = scenario()
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.hash() == spec.hash()
+
+    def test_campaign_round_trip(self):
+        campaign = Campaign(
+            name="c",
+            description="d",
+            scenarios=(scenario("a"), scenario("b")),
+            systems=("hirep", "voting"),
+            seeds=(1, 2, 3),
+        )
+        again = Campaign.from_dict(campaign.to_dict())
+        assert again == campaign
+        assert again.hash() == campaign.hash()
+
+    def test_round_trip_preserves_tuple_overrides(self):
+        wl = WorkloadSpec(overrides={"good_rating": (0.6, 1.0)})
+        again = WorkloadSpec.from_dict(
+            __import__("json").loads(
+                __import__("json").dumps(wl.to_dict())
+            )
+        )
+        cfg = again.build_config(3, TopologySpec())
+        assert cfg.good_rating == (0.6, 1.0)
+
+
+class TestHashing:
+    def test_name_excluded_from_hash(self):
+        a = scenario("alpha")
+        b = scenario("beta")
+        assert a.hash() == b.hash()
+
+    def test_hash_sensitive_to_every_plane(self):
+        base = scenario()
+        variants = [
+            ScenarioSpec(**{**_fields(base), "attack": AttackSpec.collusion(0.3)}),
+            ScenarioSpec(**{**_fields(base), "fault": FaultSpec(loss=0.2, crash_fraction=0.1)}),
+            ScenarioSpec(**{**_fields(base), "churn": ChurnSpec(leave_prob=0.2)}),
+            ScenarioSpec(**{**_fields(base), "topology": TopologySpec()}),
+            ScenarioSpec(
+                **{**_fields(base), "workload": WorkloadSpec(network_size=61)}
+            ),
+        ]
+        hashes = {base.hash(), *[v.hash() for v in variants]}
+        assert len(hashes) == len(variants) + 1
+
+    def test_campaign_hash_ignores_names_and_description(self):
+        a = Campaign(name="a", description="x", scenarios=(scenario("s1"),))
+        b = Campaign(name="b", description="y", scenarios=(scenario("s2"),))
+        assert a.hash() == b.hash()
+
+    def test_compiled_job_keys_deterministic(self):
+        campaign = Campaign(name="c", scenarios=(scenario(),), seeds=(1,))
+        keys_a = [job_key(s) for s in campaign.compile()]
+        keys_b = [job_key(s) for s in campaign.compile()]
+        assert keys_a == keys_b
+
+    def test_relabelled_campaign_same_job_keys(self):
+        a = Campaign(name="a", scenarios=(scenario("s"),), seeds=(1,))
+        b = Campaign(name="b", scenarios=(scenario("t"),), seeds=(1,))
+        assert [job_key(s) for s in a.compile()] == [job_key(s) for s in b.compile()]
+
+
+_HASH_SCRIPT = """
+from tests.unit.test_campaign_specs import scenario
+from repro.campaigns.catalogue import get_campaign
+
+print(scenario().hash())
+print(get_campaign("mini").hash())
+"""
+
+
+class TestHashSeedStability:
+    def test_hashes_stable_across_pythonhashseed(self):
+        outputs = []
+        for hashseed in ("0", "4242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(REPO_SRC), str(REPO_SRC.parent)]
+            )
+            result = subprocess.run(
+                [sys.executable, "-c", _HASH_SCRIPT],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=REPO_SRC.parent,
+            )
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
+        assert len(outputs[0].split()) == 2
+
+
+def _fields(spec: ScenarioSpec) -> dict:
+    return {
+        "name": spec.name,
+        "workload": spec.workload,
+        "attack": spec.attack,
+        "fault": spec.fault,
+        "churn": spec.churn,
+        "topology": spec.topology,
+    }
