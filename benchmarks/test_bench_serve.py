@@ -1,0 +1,72 @@
+"""Service-plane benchmarks: live-fleet transaction throughput (in-process).
+
+Measures end-to-end tx/sec through the full serve stack — codec encode/
+decode on every message, the asyncio actor loop, transport handoff, and
+wall-clock telemetry — against the in-process transport, both serialized
+(the determinism-guard configuration) and at load-generator concurrency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import HiRepConfig
+from repro.serve import LoadGenerator, ServeSystem, build_trace
+
+_CFG = dict(network_size=32, seed=11)
+_TXNS = 10
+
+
+def test_bench_serve_serialized(benchmark):
+    def serialized():
+        with ServeSystem(HiRepConfig(**_CFG)) as system:
+            for _ in range(_TXNS):
+                system.run_transaction()
+            return system.transactions_run
+
+    assert benchmark(serialized) == _TXNS
+
+
+def test_bench_serve_concurrent_load(benchmark):
+    def loaded():
+        with ServeSystem(HiRepConfig(**_CFG)) as system:
+            trace = build_trace(
+                "pooled", system.network.n, _TXNS, np.random.default_rng(3)
+            )
+            report = LoadGenerator(system, trace, concurrency=4).run()
+            assert report.lost == 0
+            return report.completed
+
+    assert benchmark(loaded) == _TXNS
+
+
+def test_bench_codec_encode_decode(benchmark):
+    """The codec alone: one query's worth of request framing per call."""
+    from repro.core.messages import TrustRequestBody, TrustValueRequest
+    from repro.core.wire import decode, encode
+    from repro.crypto.backend import get_backend
+    from repro.crypto.keys import PeerKeys
+    from repro.onion.onion import build_onion
+
+    backend = get_backend("simulated")
+    rng = np.random.default_rng(5)
+    keys = [PeerKeys.generate(backend, rng) for _ in range(6)]
+    request = TrustValueRequest(
+        sealed_body=backend.encrypt(
+            keys[1].sp, TrustRequestBody(subject=keys[2].node_id, nonce=3)
+        ),
+        requestor_sp=keys[0].sp,
+        requestor_onion=build_onion(
+            backend,
+            keys[0].ap,
+            keys[0].sr,
+            0,
+            [(i, keys[i].ap) for i in range(1, 4)],
+            seq=1,
+        ),
+    )
+
+    def round_trip():
+        return decode(encode(request))
+
+    assert benchmark(round_trip) == request

@@ -239,6 +239,15 @@ class HiRepPeer:
             self._arm_deadline(pending)
         return agents
 
+    def awaiting_responses(self) -> bool:
+        """True while an in-flight query still has unanswered requests.
+
+        The DES drives queries to quiescence with ``network.run()``; the
+        live service plane (``repro.serve``) has no event queue, so it
+        polls this between actor wake-ups to decide when to finish.
+        """
+        return self._pending is not None and bool(self._pending.nonce_to_agent)
+
     def _send_request(
         self, pending: PendingQuery, agent: TrustedAgent, own_onion: Onion
     ) -> None:

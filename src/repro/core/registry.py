@@ -189,3 +189,12 @@ def _build_gossip(config: "HiRepConfig | None", **opts: object) -> "ReputationSy
     from repro.baselines.gossip import GossipSystem
 
     return GossipSystem(config, **opts)
+
+
+@register_system(
+    "serve", summary="hiREP as a live service: asyncio actors over real transports"
+)
+def _build_serve(config: "HiRepConfig | None", **opts: object) -> "ReputationSystem":
+    from repro.serve.system import ServeSystem
+
+    return ServeSystem(config, **opts)

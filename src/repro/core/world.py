@@ -11,6 +11,7 @@ the topology draw.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -43,6 +44,7 @@ class World:
         config: HiRepConfig,
         latency_model: LatencyModel | None = None,
         topology: Topology | None = None,
+        network_factory: "Callable[..., P2PNetwork] | None" = None,
     ) -> "World":
         """Deterministically derive the full substrate from the config seed.
 
@@ -51,6 +53,12 @@ class World:
         match ``config.network_size``.  All other draws (truth, bandwidth,
         maliciousness) still come from the seed, so two worlds with the
         same config and topology are identical.
+
+        ``network_factory`` substitutes the network implementation — it is
+        called exactly like the :class:`~repro.net.network.P2PNetwork`
+        constructor, with the same RNG stream, so a subclass (e.g. the
+        live-transport network in ``repro.serve``) consumes identical
+        draws and the rest of the substrate stays bit-identical.
         """
         master = np.random.default_rng(config.seed)
         (
@@ -76,7 +84,8 @@ class World:
                 f"supplied topology has {topology.n} nodes but config says "
                 f"{config.network_size}"
             )
-        network = P2PNetwork(
+        make_network = network_factory if network_factory is not None else P2PNetwork
+        network = make_network(
             topology,
             rng_net,
             latency_model=latency_model,

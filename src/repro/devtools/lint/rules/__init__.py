@@ -12,6 +12,7 @@ from repro.devtools.lint.rules import (
     determinism,
     execution,
     observability,
+    serving,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "determinism",
     "execution",
     "observability",
+    "serving",
 ]

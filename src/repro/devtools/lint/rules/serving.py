@@ -1,0 +1,81 @@
+"""SRV001: no blocking calls inside ``repro.serve`` coroutines.
+
+The service plane runs every actor, the supervisor monitor, and the load
+generator on one asyncio event loop.  A single synchronous blocking call
+— ``time.sleep``, a blocking socket constructor/connect, ``subprocess``
+— inside any ``async def`` stalls the whole fleet: no actor makes
+progress, wall-clock latency spans inflate, and the quiescence drain can
+deadlock against the very frame it is waiting for.  Await instead
+(``asyncio.sleep``, ``asyncio.open_connection``, executor offload).
+
+The rule walks only coroutine bodies; a synchronous ``def`` nested inside
+an ``async def`` (callbacks handed to the loop, key functions) runs
+outside the await chain and is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, register
+from repro.devtools.lint.rules.determinism import _attr_chain
+
+#: attribute chains that block the event loop, with the async alternative.
+_BLOCKING_CHAINS: dict[tuple[str, ...], str] = {
+    ("time", "sleep"): "await asyncio.sleep(...)",
+    ("socket", "socket"): "asyncio.open_connection / asyncio.start_server",
+    ("socket", "create_connection"): "asyncio.open_connection",
+    ("socket", "create_server"): "asyncio.start_server",
+    ("subprocess", "run"): "asyncio.create_subprocess_exec",
+    ("subprocess", "call"): "asyncio.create_subprocess_exec",
+    ("subprocess", "check_call"): "asyncio.create_subprocess_exec",
+    ("subprocess", "check_output"): "asyncio.create_subprocess_exec",
+    ("subprocess", "Popen"): "asyncio.create_subprocess_exec",
+}
+
+
+def _blocking_calls(body: list[ast.stmt]) -> Iterator[tuple[ast.Call, str, str]]:
+    """Yield (call, dotted-name, fix) for blocking calls reachable from ``body``.
+
+    Descends into everything except nested function/class definitions —
+    a nested sync ``def`` runs outside the coroutine's await chain, and a
+    nested ``async def`` gets its own visit from the top-level walk.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            chain = tuple(_attr_chain(node.func))
+            fix = _BLOCKING_CHAINS.get(chain)
+            if fix is not None:
+                yield node, ".".join(chain), fix
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class NoBlockingCallsInCoroutines(Rule):
+    """SRV001: coroutines in the service plane must never block the loop."""
+
+    code = "SRV001"
+    name = "no blocking calls (time.sleep, sync sockets, subprocess) in async code"
+    packages = ("repro.serve",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call, dotted, fix in _blocking_calls(node.body):
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"{dotted}() blocks the event loop inside coroutine "
+                    f"`{node.name}`; every actor stalls until it returns — "
+                    f"use {fix}",
+                )

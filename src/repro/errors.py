@@ -88,6 +88,10 @@ class ProtocolError(ReproError):
     """A hiREP protocol message was malformed or arrived out of order."""
 
 
+class WireError(ProtocolError):
+    """A wire frame could not be encoded or decoded (bad tag, length, magic)."""
+
+
 class AgentError(ReproError):
     """Base class for reputation-agent failures."""
 

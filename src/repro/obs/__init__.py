@@ -26,6 +26,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "TelemetryPlane",
+    "WallClock",
     "attach_current",
     "bundle_key",
     "capture",
@@ -54,6 +55,7 @@ _HOME_OF = {
     "Span": "repro.obs.spans",
     "SpanRecorder": "repro.obs.spans",
     "TelemetryPlane": "repro.obs.plane",
+    "WallClock": "repro.obs.clock",
     "attach_current": "repro.obs.capture",
     "capture": "repro.obs.capture",
     "capture_active": "repro.obs.capture",

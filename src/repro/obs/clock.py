@@ -1,0 +1,36 @@
+"""Wall-clock time source for telemetry on live (served) deployments.
+
+The simulator's clock is ``SimEngine.now`` — virtual milliseconds that
+advance only when events fire.  A served fleet (:mod:`repro.serve`) runs
+on the real clock, but the telemetry plane is time-source agnostic: spans
+and events take explicit millisecond stamps.  :class:`WallClock` is the
+one sanctioned bridge — a monotonic millisecond counter, zeroed at
+construction so exported timelines start near 0 like simulated ones and
+never leak absolute host time into bundles.
+
+This module is the only place in ``repro`` outside the lint-exempt dev
+tooling that may read the host clock; everything wall-timed goes through
+it so the determinism rules keep a single audited escape hatch.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["WallClock"]
+
+
+class WallClock:
+    """Monotonic milliseconds since construction (or :meth:`reset`)."""
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()  # lint: allow[DET002]
+
+    @property
+    def now(self) -> float:
+        """Milliseconds elapsed on the host's monotonic clock."""
+        return (time.perf_counter() - self._t0) * 1000.0  # lint: allow[DET002]
+
+    def reset(self) -> None:
+        """Re-zero the clock (e.g. at the start of a load run)."""
+        self._t0 = time.perf_counter()  # lint: allow[DET002]

@@ -1,0 +1,143 @@
+"""The network edge of the service plane.
+
+:class:`ServeNetwork` subclasses the simulated
+:class:`~repro.net.network.P2PNetwork` so construction (bandwidth draws,
+latency map, counters, handler table) is bit-identical — the rest of the
+world derives from the same RNG streams either way.  Only delivery
+changes: instead of scheduling a discrete event, :meth:`send` encodes the
+payload through the real wire codec and posts the resulting frame on the
+transport; the destination's actor pulls it, decodes it, and feeds the
+registered handler.  Fault planes and observers keep working — they hook
+the send path before the frame is posted, exactly where the simulator
+hooks them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.wire import decode, encode
+from repro.errors import NetworkError
+from repro.net.latency import LatencyModel
+from repro.net.messages import Category, NetMessage
+from repro.net.network import P2PNetwork
+from repro.net.topology import Topology
+from repro.serve.engine import WallEngine
+from repro.serve.transport import Frame, Transport
+
+__all__ = ["ServeNetwork"]
+
+
+class ServeNetwork(P2PNetwork):
+    """P2PNetwork whose delivery rides a real transport, not the DES queue."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        rng: np.random.Generator,
+        *,
+        engine: WallEngine,
+        transport: Transport,
+        latency_model: LatencyModel | None = None,
+        model_transmission: bool = True,
+    ) -> None:
+        super().__init__(
+            topology,
+            rng,
+            engine=engine,  # type: ignore[arg-type]
+            latency_model=latency_model,
+            model_transmission=model_transmission,
+        )
+        self.transport = transport
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        *,
+        category: str = Category.CONTROL,
+        count: bool = True,
+        size_bytes: int | None = None,
+    ) -> NetMessage:
+        """Encode ``payload`` and post it on the transport.
+
+        Mirrors the simulator's send contract: offline senders raise,
+        the counter charges the sender whether or not the destination is
+        up, observers and the fault plane see every message, and injected
+        drops never reach the wire.  ``size_bytes`` is ignored in favour
+        of the true encoded frame length — on this plane the bytes are
+        real.
+        """
+        src_node = self.node(src)
+        self.node(dst)  # validates the index
+        if not src_node.online:
+            raise NetworkError(f"node {src} is offline and cannot send")
+        encoded = encode(payload)
+        msg = NetMessage(
+            src=src,
+            dst=dst,
+            payload=payload,
+            category=category,
+            sent_at=self.engine.now,
+        )
+        msg.size_bytes = len(encoded)
+        if count:
+            self.counter.count(category)
+        for observer in self.observers:
+            observer(msg)
+        if self.faults is not None:
+            verdict = self.faults.on_send(msg, self.engine.now)
+            if verdict.drop:
+                for fault_observer in self.fault_observers:
+                    fault_observer("drop", msg, 0.0)
+                return msg
+            if verdict.extra_latency_ms > 0.0:
+                # Latency spikes are advisory on the live plane (the real
+                # network sets the pace); announce them for telemetry parity.
+                for fault_observer in self.fault_observers:
+                    fault_observer("delay", msg, verdict.extra_latency_ms)
+        self.transport.post(
+            Frame(
+                src=src,
+                dst=dst,
+                category=category,
+                sent_at=msg.sent_at,
+                payload=encoded,
+            )
+        )
+        self.frames_sent += 1
+        return msg
+
+    def deliver_frame(self, frame: Frame) -> None:
+        """Decode an inbound frame and hand it to the registered handler.
+
+        Called from the destination's actor loop.  Offline destinations
+        drop the frame on the floor (cost already charged at send time),
+        matching the simulator's delivery semantics.
+        """
+        node = self.nodes[frame.dst]
+        if not node.online:
+            return
+        handler = self._handlers.get(frame.dst)
+        if handler is None:
+            return
+        payload = decode(frame.payload)
+        msg = NetMessage(
+            src=frame.src,
+            dst=frame.dst,
+            payload=payload,
+            category=frame.category,
+            sent_at=frame.sent_at,
+        )
+        msg.size_bytes = len(frame.payload)
+        self.frames_received += 1
+        handler(msg)
+
+    def run(self, **kwargs: Any) -> int:
+        """No event queue to drain: actors deliver as frames arrive."""
+        return 0

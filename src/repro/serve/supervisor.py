@@ -1,0 +1,203 @@
+"""Fleet supervision: bring-up, crash detection, restart with recovery.
+
+The supervisor owns one :class:`~repro.serve.actors.NodeActor` per node.
+Its monitor coroutine polls for actor tasks that finished without being
+asked to stop — a crash — and restarts them.  For nodes hosting a
+reputation agent, restart means *state recovery*: the agent's durable
+state (public-key list, report log, replay nonces, stats, trust model) is
+restored from the most recent checkpoint, then a fresh actor resumes the
+same transport inbox, so frames that arrived while the node was down are
+processed instead of lost.
+
+Checkpoints are taken at bring-up, after bootstrap, and every
+``checkpoint_every`` frames an agent-hosting actor handles — the classic
+write-ahead tradeoff in miniature: smaller intervals lose less state on a
+crash, cost more copying in steady state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import copy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.agent import ReputationAgent
+from repro.serve.actors import NodeActor
+from repro.serve.network import ServeNetwork
+from repro.serve.transport import Transport
+
+if TYPE_CHECKING:
+    from repro.core.services import Wiring
+
+__all__ = ["AgentCheckpoint", "Supervisor"]
+
+
+@dataclass
+class AgentCheckpoint:
+    """A copy of one agent's durable state at a point in time."""
+
+    public_key_list: dict = field(repr=False)
+    report_log: dict = field(repr=False)
+    seen_report_nonces: set = field(repr=False)
+    stats: Any = field(repr=False)
+    model: Any = field(repr=False)
+    frames_handled: int = 0
+
+
+def _checkpoint_of(agent: ReputationAgent, frames_handled: int) -> AgentCheckpoint:
+    return AgentCheckpoint(
+        public_key_list=dict(agent.public_key_list),
+        report_log={k: list(v) for k, v in agent.report_log.items()},
+        seen_report_nonces=set(agent._seen_report_nonces),
+        stats=copy.copy(agent.stats),
+        model=copy.deepcopy(agent.model),
+        frames_handled=frames_handled,
+    )
+
+
+class Supervisor:
+    """Start, watch, and heal the actor fleet; see the module docstring."""
+
+    def __init__(
+        self,
+        wiring: "Wiring",
+        network: ServeNetwork,
+        transport: Transport,
+        *,
+        checkpoint_every: int = 32,
+        poll_interval_s: float = 0.02,
+    ) -> None:
+        self.wiring = wiring
+        self.network = network
+        self.transport = transport
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.poll_interval_s = poll_interval_s
+        self.actors: dict[int, NodeActor] = {}
+        self.checkpoints: dict[int, AgentCheckpoint] = {}
+        self.crashes_detected = 0
+        self.restarts = 0
+        #: (ip, reason) tuples, for telemetry and tests.
+        self.incidents: list[tuple[int, str]] = []
+        self._monitor_task: asyncio.Task[None] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bring up the transport, one actor per node, and the monitor."""
+        self._loop = asyncio.get_running_loop()
+        node_ids = list(range(self.network.n))
+        await self.transport.start(node_ids)
+        for ip in node_ids:
+            actor = NodeActor(ip, self.network, self.transport)
+            if ip in self.wiring.agents:
+                actor.on_frame = self._on_agent_frame
+            self.actors[ip] = actor
+            actor.start(self._loop)
+        self.checkpoint_all()
+        self._monitor_task = self._loop.create_task(
+            self._monitor(), name="hirep-supervisor"
+        )
+
+    async def stop(self) -> None:
+        """Deliberate shutdown: no restarts, cancel everything, stop transport."""
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._monitor_task
+            self._monitor_task = None
+        for actor in self.actors.values():
+            actor.stopping = True
+            if actor.task is not None:
+                actor.task.cancel()
+        for actor in self.actors.values():
+            if actor.task is not None:
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await actor.task
+        await self.transport.stop()
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def checkpoint_agent(self, ip: int) -> None:
+        agent = self.wiring.agents.get(ip)
+        if agent is None:
+            return
+        actor = self.actors.get(ip)
+        handled = actor.frames_handled if actor is not None else 0
+        self.checkpoints[ip] = _checkpoint_of(agent, handled)
+
+    def checkpoint_all(self) -> None:
+        for ip in self.wiring.agents:
+            self.checkpoint_agent(ip)
+
+    def _on_agent_frame(self, actor: NodeActor) -> None:
+        if actor.frames_handled % self.checkpoint_every == 0:
+            self.checkpoint_agent(actor.ip)
+
+    def restore_agent(self, ip: int) -> bool:
+        """Rebuild the agent at ``ip`` from its last checkpoint.
+
+        The wiring's dispatch closures look the agent up at call time, so
+        installing the restored instance in ``wiring.agents`` is all the
+        rerouting needed.  Returns False when the node hosts no agent.
+        """
+        snapshot = self.checkpoints.get(ip)
+        crashed = self.wiring.agents.get(ip)
+        if snapshot is None or crashed is None:
+            return False
+        restored = ReputationAgent(
+            ip=crashed.ip,
+            keys=crashed.keys,
+            backend=crashed.backend,
+            model=copy.deepcopy(snapshot.model),
+            rng=crashed.rng,
+            truth_oracle=crashed.truth_oracle,
+        )
+        restored.public_key_list = dict(snapshot.public_key_list)
+        restored.report_log = {k: list(v) for k, v in snapshot.report_log.items()}
+        restored._seen_report_nonces = set(snapshot.seen_report_nonces)
+        restored.stats = copy.copy(snapshot.stats)
+        self.wiring.agents[ip] = restored
+        return True
+
+    # -- chaos + monitor -----------------------------------------------------
+
+    def kill(self, ip: int, *, amnesia: bool = True) -> None:
+        """Simulate a crash of node ``ip``'s actor.
+
+        With ``amnesia`` (the default) the hosted agent's in-memory state
+        is wiped too — the honest model of a process death — so the only
+        road back is the supervisor's checkpoint.
+        """
+        actor = self.actors[ip]
+        actor.crash()
+        agent = self.wiring.agents.get(ip)
+        if amnesia and agent is not None:
+            blank = ReputationAgent(
+                ip=agent.ip,
+                keys=agent.keys,
+                backend=agent.backend,
+                model=copy.deepcopy(agent.model),
+                rng=agent.rng,
+                truth_oracle=agent.truth_oracle,
+            )
+            self.wiring.agents[ip] = blank
+
+    async def _monitor(self) -> None:
+        while True:
+            await asyncio.sleep(self.poll_interval_s)
+            for ip, actor in self.actors.items():
+                if actor.stopping or actor.task is None or not actor.task.done():
+                    continue
+                exc = None
+                if not actor.task.cancelled():
+                    exc = actor.task.exception()
+                reason = type(exc).__name__ if exc is not None else "cancelled"
+                self.crashes_detected += 1
+                self.incidents.append((ip, reason))
+                self.restore_agent(ip)
+                assert self._loop is not None
+                actor.start(self._loop)
+                self.restarts += 1

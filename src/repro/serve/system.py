@@ -1,0 +1,339 @@
+"""ServeSystem: the hiREP protocol kernel running as a live service.
+
+Construction follows :class:`~repro.core.system.HiRepSystem` draw for
+draw — same :class:`~repro.core.world.World` streams, same
+:func:`~repro.core.services.build_wiring` — except the network edge is a
+:class:`~repro.serve.network.ServeNetwork` posting encoded frames on a
+real transport, and the clock is the host's
+(:class:`~repro.serve.engine.WallEngine`).  A
+:class:`~repro.serve.supervisor.Supervisor` runs one actor per node on a
+private asyncio loop.
+
+The transaction cycle mirrors the simulator's exactly (maintenance →
+query → settle → metrics); the only structural difference is *how* the
+query reaches quiescence: the DES drains an event queue, the service
+plane awaits the requestor actor's activity until every outstanding
+request is answered (or a wall-clock window closes).  With a serialized
+load (one transaction at a time) the two backends make identical RNG
+draws, which is what the determinism-guard test pins.
+
+Wall-clock telemetry (transaction/query/report spans, msgs-per-tx,
+fleet counters) accumulates on an owned :class:`~repro.obs.plane.
+TelemetryPlane`, exportable as a standard bundle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.core.config import HiRepConfig
+from repro.core.interface import Outcome
+from repro.core.peer import HiRepPeer, QueryResult
+from repro.core.runtime import TransactionRuntime
+from repro.core.services import MaintenanceService, build_wiring
+from repro.core.system import TRUST_TRAFFIC_CATEGORIES
+from repro.core.world import World
+from repro.crypto.backend import get_backend
+from repro.errors import NoTrustedAgentsError, SimulationError
+from repro.net.latency import LatencyModel
+from repro.obs.plane import TelemetryPlane
+from repro.serve.engine import WallEngine
+from repro.serve.network import ServeNetwork
+from repro.serve.supervisor import Supervisor
+from repro.serve.transport import Transport, make_transport
+
+__all__ = ["ServeSystem"]
+
+#: Message-count buckets for the per-transaction traffic histogram.
+_MSGS_PER_TX_BOUNDS = (2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0)
+
+
+class ServeSystem(TransactionRuntime):
+    """A live hiREP fleet: asyncio actors over a real transport."""
+
+    def __init__(
+        self,
+        config: HiRepConfig | None = None,
+        *,
+        transport: Transport | str = "inproc",
+        latency_model: LatencyModel | None = None,
+        telemetry: TelemetryPlane | None = None,
+        checkpoint_every: int = 32,
+        query_window_ms: float = 5_000.0,
+        drain_window_ms: float = 5_000.0,
+    ) -> None:
+        """Build the fleet (not yet running; see :meth:`up`).
+
+        ``query_window_ms`` bounds how long one query waits for the last
+        trust response before finishing with whatever arrived;
+        ``drain_window_ms`` bounds the post-settlement wait for transport
+        quiescence when draining per transaction.
+        """
+        config = config or HiRepConfig()
+        self.engine = WallEngine()
+        self.transport: Transport = (
+            make_transport(transport) if isinstance(transport, str) else transport
+        )
+
+        def factory(*args: Any, **kwargs: Any) -> ServeNetwork:
+            kwargs.pop("bandwidth_profile", None)
+            return ServeNetwork(
+                *args, engine=self.engine, transport=self.transport, **kwargs
+            )
+
+        world = World.from_config(
+            config, latency_model, network_factory=factory
+        )
+        super().__init__(config, world)
+
+        self.backend = get_backend(config.crypto_backend)
+        self.wiring = build_wiring(config, world, self.backend)
+        self.router = self.wiring.router
+        self.dispatcher = self.wiring.dispatcher
+        self.peers = self.wiring.peers
+        self.agents = self.wiring.agents
+        self.maintenance = MaintenanceService(config, world, self.wiring)
+        self.supervisor = Supervisor(
+            self.wiring,
+            self.network,
+            self.transport,
+            checkpoint_every=checkpoint_every,
+        )
+        self.telemetry = telemetry if telemetry is not None else TelemetryPlane()
+        self.query_window_ms = query_window_ms
+        self.drain_window_ms = drain_window_ms
+        #: When True (the serialized-load mode) every transaction waits for
+        #: transport quiescence after settlement, so per-transaction
+        #: message deltas match the simulator's drained accounting.
+        self.drain_per_tx = True
+        self.lost_transactions = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._install_taps()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._loop is not None
+
+    def up(self) -> None:
+        """Start the fleet: transport, actors, monitor, then bootstrap."""
+        if self._loop is not None:
+            return
+        self._loop = asyncio.new_event_loop()
+        self._loop.run_until_complete(self.supervisor.start())
+        # Bootstrap consumes rng_workload draws before the first pick_pair,
+        # in the same stream order as the simulator's lazy bootstrap.
+        if not self.maintenance.bootstrapped:
+            self.maintenance.bootstrap()
+            self.supervisor.checkpoint_all()
+
+    def down(self) -> None:
+        """Stop actors and transport and close the private loop."""
+        if self._loop is None:
+            return
+        self._loop.run_until_complete(self.supervisor.stop())
+        self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+        self._loop.close()
+        self._loop = None
+
+    def __enter__(self) -> "ServeSystem":
+        self.up()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.down()
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def run_transaction(
+        self, requestor: int | None = None, provider: int | None = None
+    ) -> Outcome:
+        """Synchronous façade: run one transaction on the private loop."""
+        if self._loop is None:
+            self.up()
+        assert self._loop is not None
+        return self._loop.run_until_complete(
+            self.run_transaction_async(requestor, provider)
+        )
+
+    async def run_transaction_async(
+        self, requestor: int | None = None, provider: int | None = None
+    ) -> Outcome:
+        """One full transaction cycle over the live transport.
+
+        Mirrors :meth:`repro.core.system.HiRepSystem.run_transaction`:
+        same pair selection, maintenance, query, settlement, and outcome
+        accounting — only delivery is asynchronous.
+        """
+        if not self.maintenance.bootstrapped:
+            self.maintenance.bootstrap()
+            self.supervisor.checkpoint_all()
+        req, prov = self.pick_pair(requestor)
+        if provider is not None:
+            if not 0 <= provider < len(self.peers):
+                raise SimulationError(f"provider {provider} does not exist")
+            if not self.network.is_online(provider):
+                raise SimulationError(f"provider {provider} is offline")
+            prov = provider
+
+        self.maintenance.maintain(self.peers[req])
+
+        trust_before = self._trust_traffic()
+        total_before = self.counter.total
+        index = self.transactions_run
+        spans = self.telemetry.spans
+        t0 = self.engine.now
+        txn = spans.begin(
+            "transaction",
+            start_ms=t0,
+            category="txn",
+            index=index,
+            requestor=req,
+            provider=prov,
+        )
+
+        peer = self.peers[req]
+        relay_pool = self.network.online_nodes()
+        subject = self.peers[prov].node_id
+        try:
+            peer.start_query(subject, relay_pool)
+        except NoTrustedAgentsError:
+            result = QueryResult(
+                subject=subject,
+                estimate=0.5,
+                responses=[],
+                response_time_ms=float("nan"),
+                answered=0,
+                asked=0,
+            )
+        else:
+            await self._await_responses(peer)
+            result = peer.finish_query()
+        t_query = self.engine.now
+        self._observe_span(
+            spans.emit("query", t0, t_query, category="phase", parent=txn)
+        )
+
+        truth = float(self.truth[prov])
+        peer.settle_transaction(result, truth, self.network.online_nodes())
+        if self.drain_per_tx:
+            await self.drain()
+        t_end = self.engine.now
+        self._observe_span(
+            spans.emit("report", t_query, t_end, category="phase", parent=txn)
+        )
+        spans.finish(txn, t_end)
+        self._observe_span(txn)
+
+        err = float(result.estimate) - truth
+        outcome = Outcome(
+            index=index,
+            requestor=req,
+            provider=prov,
+            estimate=result.estimate,
+            truth=truth,
+            squared_error=err * err,
+            response_time_ms=t_end - t0,
+            trust_messages=self._trust_traffic() - trust_before,
+            total_messages=self.counter.total - total_before,
+            answered=result.answered,
+            asked=result.asked,
+        )
+        self.telemetry.registry.histogram(
+            "serve.msgs_per_tx", bounds=_MSGS_PER_TX_BOUNDS
+        ).observe(float(outcome.total_messages))
+        return self._record(outcome)
+
+    async def _await_responses(self, peer: HiRepPeer) -> None:
+        """Sleep until every outstanding request is answered (or window ends)."""
+        actor = self.supervisor.actors[peer.ip]
+        deadline = self.engine.now + self.query_window_ms
+        while peer.awaiting_responses():
+            remaining = deadline - self.engine.now
+            if remaining <= 0.0:
+                break
+            actor.activity.clear()
+            if not peer.awaiting_responses():  # answered between check and clear
+                break
+            try:
+                await asyncio.wait_for(
+                    actor.activity.wait(), timeout=remaining / 1000.0
+                )
+            except asyncio.TimeoutError:
+                break
+
+    async def drain(self) -> bool:
+        """Await transport quiescence (no frames posted but undelivered).
+
+        Returns True on quiescence, False if ``drain_window_ms`` elapsed
+        first.  Two consecutive idle observations are required so a frame
+        mid-handoff between queues cannot fake quiescence.
+        """
+        deadline = self.engine.now + self.drain_window_ms
+        idle = 0
+        spins = 0
+        while self.engine.now < deadline:
+            if self.transport.in_flight() == 0:
+                idle += 1
+                if idle >= 2:
+                    return True
+                await asyncio.sleep(0)
+            else:
+                idle = 0
+                spins += 1
+                # Yield-only spinning is fine in-process; ease off once
+                # frames are clearly in kernel buffers (TCP).
+                await asyncio.sleep(0 if spins < 200 else 0.001)
+        return False
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def _install_taps(self) -> None:
+        tracer = self.telemetry.tracer
+        engine = self.engine
+
+        def on_send(msg: Any) -> None:
+            tracer.record(
+                engine.now,
+                msg.category,
+                src=msg.src,
+                dst=msg.dst,
+                bytes=msg.size_bytes,
+            )
+
+        self.network.observers.append(on_send)
+        self.telemetry.registry.register_collector(self._fleet_metrics)
+
+    def _fleet_metrics(self) -> dict[str, float]:
+        counter = self.counter
+        out: dict[str, float] = {
+            "net.messages.total": float(counter.total),
+            "serve.transactions": float(self.transactions_run),
+            "serve.lost_transactions": float(self.lost_transactions),
+            "serve.actor_restarts": float(self.supervisor.restarts),
+            "serve.crashes_detected": float(self.supervisor.crashes_detected),
+            "serve.frames_posted": float(self.transport.frames_posted),
+            "serve.frames_in_flight": float(self.transport.in_flight()),
+            "serve.bytes_posted": float(self.transport.bytes_posted),
+            "trust.mse": self.mse.mse(),
+        }
+        for category in sorted(counter.by_category):
+            out[f"net.messages[{category}]"] = float(counter.by_category[category])
+        return out
+
+    def _observe_span(self, span: Any) -> None:
+        self.telemetry.registry.histogram(f"span_ms[{span.name}]").observe(
+            span.duration_ms
+        )
+
+    def _trust_traffic(self) -> int:
+        by_category = self.counter.by_category
+        return sum(by_category.get(c, 0) for c in TRUST_TRAFFIC_CATEGORIES)

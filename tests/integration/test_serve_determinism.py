@@ -1,0 +1,76 @@
+"""Determinism guard: the live service replays the simulator bit for bit.
+
+With the in-process transport, a serialized load (one transaction at a
+time, drained between transactions), and the same seed, the service
+plane makes the same RNG draws as the discrete-event simulator — so
+per-transaction outcomes must match field for field (wall-clock response
+times excepted).  A second guard pins TCP loopback against in-process:
+the transport must never change protocol behavior.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import HiRepConfig
+from repro.core.system import HiRepSystem
+from repro.serve import ServeSystem
+
+TRANSACTIONS = 10
+
+
+def outcome_key(outcome):
+    """The fields that must match exactly across backends."""
+    return (
+        outcome.index,
+        outcome.requestor,
+        outcome.provider,
+        outcome.answered,
+        outcome.asked,
+        outcome.trust_messages,
+        outcome.total_messages,
+    )
+
+
+@pytest.fixture
+def config():
+    return HiRepConfig(network_size=24, seed=7)
+
+
+def test_serve_matches_simulator_transaction_for_transaction(config):
+    sim = HiRepSystem(config)
+    sim_outcomes = [sim.run_transaction() for _ in range(TRANSACTIONS)]
+
+    with ServeSystem(config, transport="inproc") as serve:
+        assert serve.drain_per_tx  # serialized mode: drained accounting
+        serve_outcomes = [serve.run_transaction() for _ in range(TRANSACTIONS)]
+
+    for sim_out, serve_out in zip(sim_outcomes, serve_outcomes):
+        assert outcome_key(sim_out) == outcome_key(serve_out)
+        # Estimates differ only by float summation order, if at all.
+        assert sim_out.estimate == pytest.approx(serve_out.estimate, abs=1e-9)
+        assert sim_out.truth == serve_out.truth
+        assert not math.isnan(serve_out.response_time_ms)
+
+
+def test_tcp_loopback_matches_inproc(config):
+    results = {}
+    for transport in ("inproc", "tcp"):
+        with ServeSystem(config, transport=transport) as system:
+            results[transport] = [
+                system.run_transaction() for _ in range(TRANSACTIONS)
+            ]
+
+    for inproc_out, tcp_out in zip(results["inproc"], results["tcp"]):
+        assert outcome_key(inproc_out) == outcome_key(tcp_out)
+        assert inproc_out.estimate == pytest.approx(tcp_out.estimate, abs=1e-9)
+
+
+def test_same_seed_same_fleet_same_outcomes(config):
+    runs = []
+    for _ in range(2):
+        with ServeSystem(config) as system:
+            runs.append([system.run_transaction() for _ in range(TRANSACTIONS)])
+    for a, b in zip(runs[0], runs[1]):
+        assert outcome_key(a) == outcome_key(b)
+        assert a.estimate == b.estimate

@@ -362,3 +362,86 @@ def test_cmp001_flags_lambda_inside_partial():
 def test_cmp001_pragma_suppresses():
     src = "register_campaign(lambda: build())  # lint: allow[CMP001]\n"
     assert codes(src, module="repro.campaigns.extra") == []
+
+
+# ---------------------------------------------------------------- SRV001
+
+
+def test_srv001_flags_time_sleep_in_coroutine():
+    src = """
+        import time
+
+        async def pump():
+            time.sleep(0.1)
+    """
+    assert codes(src, module="repro.serve.fake") == ["SRV001"]
+
+
+def test_srv001_flags_sync_sockets_and_subprocess():
+    src = """
+        import socket
+        import subprocess
+
+        async def dial():
+            sock = socket.create_connection(("127.0.0.1", 80))
+            subprocess.run(["true"])
+    """
+    assert codes(src, module="repro.serve.fake") == ["SRV001", "SRV001"]
+
+
+def test_srv001_allows_asyncio_sleep_and_sync_defs():
+    src = """
+        import asyncio
+        import time
+
+        async def pump():
+            await asyncio.sleep(0.1)
+
+        def measure():
+            time.sleep(0.1)
+    """
+    assert codes(src, module="repro.serve.fake") == []
+
+
+def test_srv001_ignores_sync_def_nested_in_coroutine():
+    src = """
+        import time
+
+        async def pump():
+            def blocking_callback():
+                time.sleep(0.1)
+            return blocking_callback
+    """
+    assert codes(src, module="repro.serve.fake") == []
+
+
+def test_srv001_flags_nested_coroutine_body():
+    src = """
+        import time
+
+        async def outer():
+            async def inner():
+                time.sleep(0.1)
+            await inner()
+    """
+    assert codes(src, module="repro.serve.fake") == ["SRV001"]
+
+
+def test_srv001_scoped_to_serve_package():
+    src = """
+        import time
+
+        async def pump():
+            time.sleep(0.1)
+    """
+    assert "SRV001" not in codes(src, module="repro.exec.fake")
+
+
+def test_srv001_pragma_suppresses():
+    src = """
+        import time
+
+        async def pump():
+            time.sleep(0.1)  # lint: allow[SRV001]
+    """
+    assert codes(src, module="repro.serve.fake") == []
