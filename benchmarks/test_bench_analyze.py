@@ -1,0 +1,75 @@
+"""Static-analysis runtime budget: cold parse cost, warm runs near-free.
+
+The project analysis runs in CI on every push, so its cost is part of the
+development loop.  Two properties are guarded here in assert form (they
+hold under ``--benchmark-disable``, which is how the CI lint job runs
+this file):
+
+* a cold analysis of the full shipped tree stays inside a generous
+  wall-clock budget, and
+* a warm run re-parses *nothing* — every summary comes out of the
+  content-addressed cache, so its cost is pure graph assembly + rules.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.devtools.analyze import SummaryCache, analyze_project
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TARGETS = [REPO_ROOT / "src", REPO_ROOT / "examples"]
+
+# Generous ceiling for one cold full-tree pass (parse + graphs + rules).
+# The observed cost is well under a tenth of this; the budget exists to
+# catch an accidental quadratic blow-up, not to race the clock.
+COLD_BUDGET_SECONDS = 120.0
+
+
+def _analyze(cache: SummaryCache):
+    return analyze_project(TARGETS, repo_root=REPO_ROOT, cache=cache)
+
+
+def test_cold_analysis_stays_inside_budget(tmp_path):
+    cache = SummaryCache(directory=tmp_path / "cache")
+    start = time.perf_counter()
+    result = _analyze(cache)
+    elapsed = time.perf_counter() - start
+    assert result.errors == []
+    assert cache.stats.stored > 0, "cold run parsed nothing?"
+    assert elapsed < COLD_BUDGET_SECONDS, (
+        f"cold project analysis took {elapsed:.1f}s "
+        f"(budget {COLD_BUDGET_SECONDS:.0f}s)"
+    )
+
+
+def test_warm_run_reparses_nothing(tmp_path):
+    cache_dir = tmp_path / "cache"
+    _analyze(SummaryCache(directory=cache_dir))
+
+    warm = SummaryCache(directory=cache_dir)
+    result = _analyze(warm)
+    assert result.errors == []
+    assert warm.stats.misses == 0 and warm.stats.stored == 0
+    assert warm.stats.hits > 0
+
+
+def test_bench_cold_analysis(benchmark, tmp_path):
+    counter = iter(range(10_000))
+
+    def cold():
+        cache = SummaryCache(directory=tmp_path / f"cache-{next(counter)}")
+        return len(_analyze(cache).context.summaries)
+
+    assert benchmark(cold) > 100
+
+
+def test_bench_warm_analysis(benchmark, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _analyze(SummaryCache(directory=cache_dir))
+
+    def warm():
+        return len(_analyze(SummaryCache(directory=cache_dir)).context.summaries)
+
+    assert benchmark(warm) > 100

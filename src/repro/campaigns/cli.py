@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.campaigns.catalogue import campaign_names, get_campaign
@@ -110,7 +109,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache or out / "cache")
     progress = _StderrProgress() if args.progress else None
-    started = time.perf_counter()
+    # wall time goes through the one audited bridge (TNT001): elapsed time
+    # is stderr-only operator telemetry, never part of the report artifact
+    from repro.obs.clock import WallClock
+
+    stopwatch = WallClock()
     with RunManifest(out / "manifest.jsonl") as manifest:
         manifest.append(
             "campaign",
@@ -128,7 +131,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             progress=progress,
             telemetry_dir=args.telemetry,
         )
-    elapsed = time.perf_counter() - started
+    elapsed = stopwatch.now / 1000.0
 
     report_path = write_report(report, out / "report.json")
     md = render_markdown(report)

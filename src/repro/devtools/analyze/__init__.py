@@ -1,0 +1,81 @@
+"""Whole-program static analysis for hiREP: import/call graphs + taint rules.
+
+The per-file rules in :mod:`repro.devtools.lint` can prove properties of
+one module at a time; they cannot see a wall-clock read reached *through a
+helper in another module*, a serve coroutine that blocks the event loop
+three sync calls deep, or an import that quietly inverts the layer DAG.
+This package parses the tree once into content-addressed per-module
+summaries (cached on disk, re-parsed only when the source hash changes),
+assembles an import graph and a best-effort call graph, and runs
+interprocedural rules over them:
+
+* ``TNT001`` — determinism taint: wall-clock / entropy sources reachable
+  from deterministic packages, reported as a call path;
+* ``TNT002`` — blocking-call reachability from ``repro.serve`` coroutines
+  through sync helpers (the interprocedural closure of SRV001);
+* ``TNT003`` — pickle-safety of callables handed to the ``repro.exec``
+  scheduler, resolved through aliases and modules (the closure of EXC001);
+* ``LAY001`` — the declared layer DAG over packages, plus module-level
+  import-cycle detection.
+
+Findings flow through the same :class:`~repro.devtools.lint.findings.
+Finding` / pragma / ratcheting-baseline machinery as the per-file rules,
+surfaced by the ``hirep-analyze`` CLI and ``hirep-lint --project``.
+See ``docs/static-analysis.md``.
+"""
+
+from repro.devtools.analyze.cache import SummaryCache
+from repro.devtools.analyze.graphs import CallGraph, ImportGraph, ProjectIndex
+from repro.devtools.analyze.project import (
+    AnalysisResult,
+    ProjectContext,
+    analyze_project,
+    build_context,
+    collect_summaries,
+)
+from repro.devtools.analyze.rules import (
+    ProjectRule,
+    all_project_rules,
+    resolve_project_rules,
+)
+from repro.devtools.analyze.summaries import (
+    MODULE_SCOPE,
+    SUMMARY_SCHEMA,
+    CallableRef,
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ImportRecord,
+    ModuleSummary,
+    extract_summary,
+    source_digest,
+)
+from repro.devtools.analyze.taint import CallPath, Hop, reachable_paths
+
+__all__ = [
+    "AnalysisResult",
+    "CallGraph",
+    "CallPath",
+    "CallSite",
+    "CallableRef",
+    "ClassInfo",
+    "FunctionInfo",
+    "Hop",
+    "ImportGraph",
+    "ImportRecord",
+    "MODULE_SCOPE",
+    "ModuleSummary",
+    "ProjectContext",
+    "ProjectIndex",
+    "ProjectRule",
+    "SUMMARY_SCHEMA",
+    "SummaryCache",
+    "all_project_rules",
+    "analyze_project",
+    "build_context",
+    "collect_summaries",
+    "extract_summary",
+    "reachable_paths",
+    "resolve_project_rules",
+    "source_digest",
+]

@@ -1,0 +1,89 @@
+"""Content-addressed on-disk cache of module summaries.
+
+One JSON file per summary, named by the SHA-256 of the module *source*,
+so the cache needs no invalidation protocol: edit a file and its digest —
+hence its cache key — changes, and the stale entry is simply never read
+again.  Entries also carry the extractor schema version; a schema bump
+(:data:`~repro.devtools.analyze.summaries.SUMMARY_SCHEMA`) orphans every
+old entry without a manual wipe.
+
+The cache keeps hit/miss/parse counters so tests (and ``--stats``) can
+assert the warm-run property directly: a second run over an unchanged
+tree must re-parse nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.analyze.summaries import SUMMARY_SCHEMA, ModuleSummary
+
+__all__ = ["CacheStats", "SummaryCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location, relative to the analysis root (gitignored).
+DEFAULT_CACHE_DIR = ".hirep-analyze-cache"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one analysis run over the cache."""
+
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "stored": self.stored}
+
+
+@dataclass
+class SummaryCache:
+    """Digest-keyed summary store; a ``directory`` of ``<sha256>.json``."""
+
+    directory: Path | None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    @classmethod
+    def disabled(cls) -> "SummaryCache":
+        """A cache that stores nothing and never hits (``--no-cache``)."""
+        return cls(directory=None)
+
+    def _entry(self, digest: str) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"{digest}.json"
+
+    def get(self, digest: str) -> ModuleSummary | None:
+        """The cached summary for a source digest, or None on any doubt."""
+        entry = self._entry(digest)
+        if entry is None or not entry.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            data = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        if data.get("schema") != SUMMARY_SCHEMA or data.get("digest") != digest:
+            self.stats.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return summary
+
+    def put(self, summary: ModuleSummary) -> None:
+        entry = self._entry(summary.digest)
+        if entry is None:
+            return
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_text(
+            json.dumps(summary.to_dict(), indent=None, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        self.stats.stored += 1

@@ -1,0 +1,221 @@
+"""The ``hirep-analyze`` command-line interface.
+
+Two modes:
+
+* ``hirep-analyze [paths...]`` — run the interprocedural rule set
+  (TNT001/TNT002/TNT003/LAY001) over the tree and report findings through
+  the same reporters, baseline and exit-code contract as ``hirep-lint``:
+  0 clean (or baselined), 1 new findings / stale baseline / errors, 2 bad
+  invocation.
+* ``hirep-analyze graph [paths...]`` — dump the import graph and call
+  graph as deterministic JSON (sorted keys, sorted edges; byte-identical
+  under any ``PYTHONHASHSEED``).
+
+Both modes share the content-addressed summary cache
+(``.hirep-analyze-cache/`` under ``--root`` by default, disable with
+``--no-cache``); a warm run over an unchanged tree re-parses nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.devtools.analyze.cache import DEFAULT_CACHE_DIR, SummaryCache
+from repro.devtools.analyze.project import analyze_project, build_context, collect_summaries
+from repro.devtools.analyze.rules import all_project_rules, resolve_project_rules
+from repro.devtools.lint import baseline as baseline_mod
+from repro.devtools.lint.config import load_config
+from repro.devtools.lint.reporters import REPORTERS
+
+__all__ = ["main", "build_parser", "DEFAULT_PROJECT_BASELINE"]
+
+#: Separate from the per-file linter's baseline on purpose: baselines
+#: track staleness ("entry no longer matched by this run"), and the two
+#: tools produce disjoint finding sets — sharing one file would make each
+#: tool flag the other's entries as stale.
+DEFAULT_PROJECT_BASELINE = ".hirep-analyze-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hirep-analyze",
+        description="whole-program analysis for hiREP (taint + layering rules)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_PROJECT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline entirely"
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="drop stale entries from the baseline (shrink-only ratchet)",
+    )
+    parser.add_argument("--select", action="append", help="only run these rule codes")
+    parser.add_argument("--ignore", action="append", help="skip these rule codes")
+    parser.add_argument(
+        "--root", default=".", help="repo root for config and relative paths"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"summary cache directory (default: <root>/{DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="parse everything, cache nothing"
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss counters after the run",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print project rules and exit"
+    )
+    return parser
+
+
+def build_graph_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hirep-analyze graph",
+        description="dump the import and call graphs as deterministic JSON",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories (default: src)"
+    )
+    parser.add_argument("--root", default=".", help="repo root for relative paths")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"summary cache directory (default: <root>/{DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="parse everything, cache nothing"
+    )
+    parser.add_argument(
+        "--indent", type=int, default=2, help="JSON indent (0 for compact)"
+    )
+    return parser
+
+
+def _resolve_targets(root: Path, paths: Sequence[str]) -> list[Path]:
+    return [
+        path if path.is_absolute() else root / path
+        for path in (Path(p) for p in paths)
+    ]
+
+
+def _make_cache(root: Path, cache_dir: str | None, no_cache: bool) -> SummaryCache:
+    if no_cache:
+        return SummaryCache.disabled()
+    directory = Path(cache_dir) if cache_dir else root / DEFAULT_CACHE_DIR
+    if not directory.is_absolute():
+        directory = root / directory
+    return SummaryCache(directory=directory)
+
+
+def _graph_main(argv: Sequence[str], stream: TextIO) -> int:
+    args = build_graph_parser().parse_args(argv)
+    root = Path(args.root).resolve()
+    config = load_config(root)
+    cache = _make_cache(root, args.cache_dir, args.no_cache)
+    summaries, errors = collect_summaries(
+        _resolve_targets(root, args.paths),
+        repo_root=root,
+        cache=cache,
+        exclude=config.exclude,
+    )
+    ctx = build_context(summaries)
+    payload = {
+        "modules": sorted(summaries),
+        "imports": ctx.imports.to_dict(),
+        "calls": ctx.calls.to_dict(),
+        "errors": sorted(errors),
+    }
+    indent = args.indent if args.indent > 0 else None
+    print(json.dumps(payload, indent=indent, sort_keys=True), file=stream)
+    return 1 if errors else 0
+
+
+def _list_rules(stream: TextIO) -> None:
+    for rule in all_project_rules():
+        print(f"{rule.code}  [{rule.severity.value}]  {rule.name}", file=stream)
+
+
+def main(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int:
+    out = stream if stream is not None else sys.stdout
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "graph":
+        return _graph_main(argv[1:], out)
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+
+    root = Path(args.root).resolve()
+    config = load_config(root)
+    try:
+        rules = resolve_project_rules(
+            args.select or None, args.ignore or None
+        )
+    except KeyError as exc:
+        print(f"hirep-analyze: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    cache = _make_cache(root, args.cache_dir, args.no_cache)
+    result = analyze_project(
+        _resolve_targets(root, args.paths),
+        repo_root=root,
+        cache=cache,
+        exclude=config.exclude,
+        rules=rules,
+        severity_overrides=config.severity,
+    )
+
+    baseline_path = root / (args.baseline or DEFAULT_PROJECT_BASELINE)
+    if args.no_baseline:
+        baseline = baseline_mod.Baseline(path=baseline_path)
+    else:
+        try:
+            baseline = baseline_mod.Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"hirep-analyze: {exc}", file=sys.stderr)
+            return 2
+
+    part = baseline_mod.partition(result.findings, baseline)
+
+    if args.update_baseline and part.stale:
+        removed = baseline_mod.shrink(baseline, part)
+        baseline.save()
+        print(
+            f"hirep-analyze: baseline shrank by {removed} entr"
+            f"{'y' if removed == 1 else 'ies'}",
+            file=out,
+        )
+        part = baseline_mod.partition(result.findings, baseline)
+
+    REPORTERS[args.format](part, result.errors, out)
+    if args.stats and cache is not None:
+        print(
+            f"hirep-analyze: cache {cache.stats.hits} hit(s), "
+            f"{cache.stats.misses} miss(es), {cache.stats.stored} stored",
+            file=out,
+        )
+    return 1 if (part.fails or result.errors) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Project-level orchestration: files -> summaries -> graphs -> findings.
+
+``collect_summaries`` walks the tree once (cache-first: an unchanged file
+is served from the content-addressed store and never re-parsed),
+``build_context`` assembles the whole-program graphs, and
+``analyze_project`` runs the interprocedural rules over the result.
+Findings come out sorted and occurrence-fingerprinted exactly like the
+per-file linter's, so the same baseline/pragma/reporter machinery
+consumes them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.analyze.cache import SummaryCache
+from repro.devtools.analyze.graphs import (
+    CallGraph,
+    ImportGraph,
+    ProjectIndex,
+    build_graphs,
+)
+from repro.devtools.analyze.rules import ProjectRule, resolve_project_rules
+from repro.devtools.analyze.summaries import (
+    ModuleSummary,
+    extract_summary,
+    source_digest,
+)
+from repro.devtools.lint.engine import (
+    _dedupe_occurrences,
+    iter_python_files,
+    module_name_for,
+)
+from repro.devtools.lint.findings import Finding, Severity, sort_findings
+
+__all__ = [
+    "ProjectContext",
+    "AnalysisResult",
+    "collect_summaries",
+    "build_context",
+    "analyze_project",
+]
+
+
+@dataclass
+class ProjectContext:
+    """The assembled whole-program view the rules run against."""
+
+    summaries: dict[str, ModuleSummary]
+    index: ProjectIndex
+    imports: ImportGraph
+    calls: CallGraph
+
+
+@dataclass
+class AnalysisResult:
+    """Findings + errors of one project analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    context: ProjectContext | None = None
+    cache: SummaryCache | None = None
+
+
+def collect_summaries(
+    paths: Iterable[Path],
+    *,
+    repo_root: Path | None = None,
+    cache: SummaryCache | None = None,
+    exclude: Iterable[str] = (),
+) -> tuple[dict[str, ModuleSummary], list[str]]:
+    """Summarize every package module under ``paths``, cache-first.
+
+    Files outside any package (no ``__init__.py`` chain — scripts,
+    examples) are skipped: they have no importable module name and no
+    place in the import or call graph.
+    """
+    root = (repo_root or Path.cwd()).resolve()
+    cache = cache if cache is not None else SummaryCache.disabled()
+    summaries: dict[str, ModuleSummary] = {}
+    errors: list[str] = []
+    for file_path in iter_python_files(paths, exclude):
+        resolved = file_path.resolve()
+        try:
+            rel = resolved.relative_to(root).as_posix()
+        except ValueError:
+            rel = resolved.as_posix()
+        module = module_name_for(resolved)
+        if module is None:
+            continue
+        try:
+            source = resolved.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append(f"{rel}: unreadable: {exc}")
+            continue
+        digest = source_digest(source)
+        summary = cache.get(digest)
+        if summary is None:
+            try:
+                summary = extract_summary(source, module=module, path=rel)
+            except SyntaxError as exc:
+                errors.append(f"{rel}: syntax error: {exc.msg} (line {exc.lineno})")
+                continue
+            cache.put(summary)
+        else:
+            # identical content can live at two paths (e.g. empty
+            # __init__.py files share a digest) — repoint the cached copy.
+            summary.path = rel
+            summary.module = module
+        if module in summaries:
+            errors.append(
+                f"{rel}: duplicate module name {module} "
+                f"(also {summaries[module].path}); keeping the first"
+            )
+            continue
+        summaries[module] = summary
+    return summaries, errors
+
+
+def build_context(summaries: dict[str, ModuleSummary]) -> ProjectContext:
+    """Assemble index + import graph + call graph over the summaries."""
+    index, imports, calls = build_graphs(summaries)
+    return ProjectContext(
+        summaries=summaries, index=index, imports=imports, calls=calls
+    )
+
+
+def analyze_project(
+    paths: Iterable[Path],
+    *,
+    repo_root: Path | None = None,
+    cache: SummaryCache | None = None,
+    exclude: Iterable[str] = (),
+    rules: Iterable[ProjectRule] | None = None,
+    severity_overrides: dict[str, Severity] | None = None,
+) -> AnalysisResult:
+    """Run the interprocedural rule set over a tree."""
+    summaries, errors = collect_summaries(
+        paths, repo_root=repo_root, cache=cache, exclude=exclude
+    )
+    ctx = build_context(summaries)
+    active = list(rules) if rules is not None else resolve_project_rules()
+    overrides = severity_overrides or {}
+    raw: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            if finding.rule in overrides and overrides[finding.rule] != finding.severity:
+                finding = Finding(
+                    rule=finding.rule,
+                    message=finding.message,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    severity=overrides[finding.rule],
+                    source_line=finding.source_line,
+                )
+            raw.append(finding)
+    findings = sort_findings(_dedupe_occurrences(raw))
+    return AnalysisResult(findings=findings, errors=errors, context=ctx, cache=cache)

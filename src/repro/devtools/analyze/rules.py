@@ -1,0 +1,586 @@
+"""The interprocedural rule set: TNT001/TNT002/TNT003 + LAY001.
+
+Project rules mirror the per-file :class:`repro.devtools.lint.registry.
+Rule` contract — a code, a name, a severity, and a ``check`` generator —
+but receive the whole :class:`~repro.devtools.analyze.project.
+ProjectContext` (summaries + import graph + call graph) instead of one
+file.  Findings anchor at a concrete line (the sink call, the callable
+reference, the import statement), so the inline-pragma and ratcheting-
+baseline machinery from the per-file linter applies unchanged.  Each
+taint rule also honors its per-file companion's pragma at the sink line
+(``DET001``/``DET002`` for TNT001, ``SRV001`` for TNT002, ``EXC001`` for
+TNT003): a sanctioned telemetry site sanctions every path into it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
+
+from repro.devtools.analyze.graphs import ExternalCall, FuncKey, func_key
+from repro.devtools.analyze.summaries import MODULE_SCOPE
+from repro.devtools.analyze.taint import reachable_paths
+from repro.devtools.lint.findings import Finding, Severity
+from repro.devtools.lint.rules.determinism import _CLOCK_ATTRS, _NP_RANDOM_OK
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.analyze.project import ProjectContext
+
+__all__ = [
+    "ProjectRule",
+    "register_project_rule",
+    "all_project_rules",
+    "resolve_project_rules",
+    "LAYERS",
+]
+
+_REGISTRY: dict[str, "ProjectRule"] = {}
+
+
+class ProjectRule:
+    """Base class for whole-program rules."""
+
+    code: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    #: pragma codes that also suppress this rule at the anchored line.
+    companions: tuple[str, ...] = ()
+
+    def check(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def allowed(self, ctx: "ProjectContext", module: str, lineno: int) -> bool:
+        summary = ctx.summaries.get(module)
+        if summary is None:
+            return False
+        return any(
+            summary.allows(lineno, code) for code in (self.code, *self.companions)
+        )
+
+    def finding(
+        self,
+        ctx: "ProjectContext",
+        module: str,
+        lineno: int,
+        col: int,
+        message: str,
+        source_line: str,
+    ) -> Finding:
+        summary = ctx.summaries[module]
+        return Finding(
+            rule=self.code,
+            message=message,
+            path=summary.path,
+            line=lineno,
+            col=col,
+            severity=self.severity,
+            source_line=source_line,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProjectRule {self.code}>"
+
+
+def register_project_rule(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    rule = cls()
+    if not rule.code:
+        raise ValueError(f"project rule {cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate project rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_project_rules() -> list[ProjectRule]:
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def resolve_project_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[ProjectRule]:
+    rules = all_project_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - {r.code for r in rules}
+        if unknown:
+            raise KeyError(f"unknown project rule code(s): {', '.join(sorted(unknown))}")
+        rules = [r for r in rules if r.code in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [r for r in rules if r.code not in dropped]
+    return rules
+
+
+def _in_packages(module: str, packages: tuple[str, ...]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in packages)
+
+
+def _entry_keys(ctx: "ProjectContext", packages: tuple[str, ...]) -> list[FuncKey]:
+    keys: list[FuncKey] = []
+    for mod in sorted(ctx.summaries):
+        if not _in_packages(mod, packages):
+            continue
+        for qual in sorted(ctx.summaries[mod].functions):
+            keys.append(func_key(mod, qual))
+    return keys
+
+
+def _entry_label(key: FuncKey) -> str:
+    mod, _, qual = key.partition("::")
+    return mod if qual == MODULE_SCOPE else f"{mod}.{qual}"
+
+
+# --------------------------------------------------------------------- TNT001
+
+
+#: entry packages whose results must be a pure function of the seed.  This
+#: is DET002's scope plus ``repro.campaigns`` — campaign reports are
+#: replayed byte-for-byte in CI, so the campaign plane is deterministic
+#: code even though the per-file wall-clock rule predates it.
+_DETERMINISTIC_PACKAGES = (
+    "repro.sim",
+    "repro.core",
+    "repro.net",
+    "repro.exec",
+    "repro.experiments",
+    "repro.campaigns",
+)
+
+#: DET002's per-file scope: clock sinks inside these packages are already
+#: reported (or pragma-sanctioned) by the per-file rule; TNT001 reports
+#: only clock sinks *outside* them that deterministic code reaches.
+_DET002_PACKAGES = (
+    "repro.sim",
+    "repro.core",
+    "repro.net",
+    "repro.exec",
+    "repro.experiments",
+    "repro.obs",
+)
+
+#: suffix -> description for entropy sources no per-file rule covers.
+_ENTROPY_SUFFIXES = {
+    "os.urandom": "reads kernel entropy",
+    "uuid.uuid1": "derives from host clock and MAC",
+    "uuid.uuid4": "reads kernel entropy",
+}
+
+_CLOCK_SUFFIXES = tuple(
+    f"{mod}.{attr}" for mod, attrs in sorted(_CLOCK_ATTRS.items()) for attr in sorted(attrs)
+)
+
+
+def _dotted_suffix_match(dotted: str, suffixes: tuple[str, ...] | dict) -> str | None:
+    for suffix in suffixes:
+        if dotted == suffix or dotted.endswith("." + suffix):
+            return suffix
+    return None
+
+
+def _is_clock_sink(call: ExternalCall) -> bool:
+    return _dotted_suffix_match(call.dotted, _CLOCK_SUFFIXES) is not None
+
+
+def _is_entropy_sink(call: ExternalCall) -> bool:
+    if _dotted_suffix_match(call.dotted, tuple(_ENTROPY_SUFFIXES)) is not None:
+        return True
+    return call.dotted.startswith("secrets.")
+
+
+def _is_global_rng_sink(call: ExternalCall) -> bool:
+    parts = call.dotted.split(".")
+    if parts[-1] == "default_rng" and call.site.n_args == 0:
+        return True
+    if parts[0] == "random" and len(parts) > 1:
+        return True  # stdlib random.*
+    for i, part in enumerate(parts[:-1]):
+        if part in ("numpy", "np") and parts[i + 1] == "random":
+            tail = parts[i + 2] if len(parts) > i + 2 else ""
+            return bool(tail) and tail not in _NP_RANDOM_OK
+    return False
+
+
+@register_project_rule
+class DeterminismTaint(ProjectRule):
+    """TNT001: no wall-clock / entropy source reachable from seeded code.
+
+    The per-file rules (DET001/DET002) prove each file clean in
+    isolation; this rule closes the gap they cannot see — a function in a
+    deterministic package calling a helper *in another module* that reads
+    the clock or draws from unseeded entropy.  A pragma on the sink line
+    (``TNT001``, ``DET001`` or ``DET002``) sanctions every path into it,
+    so the audited telemetry escape hatches (``repro.obs.clock``) stay
+    silent.
+    """
+
+    code = "TNT001"
+    name = "no wall-clock/entropy source reachable from deterministic packages"
+    companions = ("DET001", "DET002")
+
+    def _sink_kind(self, ctx: "ProjectContext", call: ExternalCall) -> str | None:
+        sink_module = call.caller.partition("::")[0]
+        if _is_clock_sink(call):
+            # per-file DET002 already covers (or sanctions) these packages
+            if _in_packages(sink_module, _DET002_PACKAGES):
+                return None
+            return "wall clock"
+        if _is_entropy_sink(call):
+            return "entropy source"
+        if _is_global_rng_sink(call):
+            if sink_module.startswith("repro"):
+                return None  # DET001 covers every repro module per-file
+            return "global RNG"
+        return None
+
+    def check(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        entries = _entry_keys(ctx, _DETERMINISTIC_PACKAGES)
+        paths = reachable_paths(
+            ctx.index,
+            ctx.calls,
+            entries,
+            sink_match=lambda call: self._sink_kind(ctx, call) is not None,
+        )
+        for path in paths:
+            sink_module = path.sink.caller.partition("::")[0]
+            if self.allowed(ctx, sink_module, path.sink.site.lineno):
+                continue
+            kind = self._sink_kind(ctx, path.sink)
+            yield self.finding(
+                ctx,
+                sink_module,
+                path.sink.site.lineno,
+                path.sink.site.col,
+                f"{path.sink.dotted} is a {kind} reachable from "
+                f"deterministic code; call path: "
+                f"{_entry_label(path.entry)} -> {path.render_hops()}",
+                path.sink.site.source_line,
+            )
+
+
+# --------------------------------------------------------------------- TNT002
+
+#: external dotted suffixes that block the event loop, with the fix.
+_BLOCKING_SUFFIXES = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "socket.socket": "asyncio.open_connection / asyncio.start_server",
+    "socket.create_connection": "asyncio.open_connection",
+    "socket.create_server": "asyncio.start_server",
+    "subprocess.run": "asyncio.create_subprocess_exec",
+    "subprocess.call": "asyncio.create_subprocess_exec",
+    "subprocess.check_call": "asyncio.create_subprocess_exec",
+    "subprocess.check_output": "asyncio.create_subprocess_exec",
+    "subprocess.Popen": "asyncio.create_subprocess_exec",
+    "os.system": "asyncio.create_subprocess_exec",
+    "open": "asyncio.to_thread(...) or pre-open outside the loop",
+    # receiver-typed socket methods kept by the graph's method-sink
+    # watchlist (see graphs._METHOD_SINK_ATTRS)
+    "recv": "await reader.read(n) on an asyncio stream",
+    "recv_into": "await reader.read(n) on an asyncio stream",
+    "recvfrom": "asyncio datagram transports",
+    "sendall": "writer.write(...) + await writer.drain()",
+}
+
+
+@register_project_rule
+class BlockingReachability(ProjectRule):
+    """TNT002: no blocking call reachable from a ``repro.serve`` coroutine.
+
+    SRV001 flags blocking calls written *directly inside* a coroutine;
+    this rule walks the call graph from every serve coroutine through
+    synchronous helpers (in any package) to the same blocking sinks, plus
+    ``loop.run_until_complete`` (re-entering the loop from inside itself
+    deadlocks) and bare ``open()`` (disk I/O stalls every actor).  The
+    sync helper itself is innocent in isolation — which is exactly why a
+    per-file rule cannot see this.
+    """
+
+    code = "TNT002"
+    name = "no blocking call reachable from serve coroutines via sync helpers"
+    companions = ("SRV001",)
+
+    def _sink_fix(self, call: ExternalCall) -> str | None:
+        if call.site.awaited:
+            return None  # an awaited call yields; it does not block the loop
+        if call.dotted.split(".")[-1] == "run_until_complete":
+            return "schedule the coroutine on the running loop (await it)"
+        suffix = _dotted_suffix_match(call.dotted, tuple(_BLOCKING_SUFFIXES))
+        if suffix is not None:
+            return _BLOCKING_SUFFIXES[suffix]
+        return None
+
+    def check(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        entries = [
+            key
+            for key in _entry_keys(ctx, ("repro.serve",))
+            if (fn := ctx.index.function(key)) is not None and fn.is_async
+        ]
+        paths = reachable_paths(
+            ctx.index,
+            ctx.calls,
+            entries,
+            sink_match=lambda call: self._sink_fix(call) is not None,
+        )
+        for path in paths:
+            sink_module = path.sink.caller.partition("::")[0]
+            sink_fn = ctx.index.function(path.sink.caller)
+            # a blocking call directly inside a serve coroutine is SRV001's
+            # finding; report only the interprocedural case here.
+            if (
+                sink_fn is not None
+                and sink_fn.is_async
+                and sink_module.startswith("repro.serve")
+            ):
+                continue
+            if self.allowed(ctx, sink_module, path.sink.site.lineno):
+                continue
+            fix = self._sink_fix(path.sink)
+            yield self.finding(
+                ctx,
+                sink_module,
+                path.sink.site.lineno,
+                path.sink.site.col,
+                f"{path.sink.dotted} blocks the event loop and is reachable "
+                f"from coroutine `{_entry_label(path.entry)}`; every actor "
+                f"stalls until it returns — use {fix}; call path: "
+                f"{_entry_label(path.entry)} -> {path.render_hops()}",
+                path.sink.site.source_line,
+            )
+
+
+# --------------------------------------------------------------------- TNT003
+
+
+@register_project_rule
+class PickleSafety(ProjectRule):
+    """TNT003: scheduler callables must resolve to module-level functions.
+
+    EXC001 judges the expression at the call site; this rule resolves
+    *references* — through module aliases, re-exports and ``from``-imports
+    across files — and flags callables that pickle by qualified name but
+    cannot round-trip: module-level ``name = lambda ...`` bindings and
+    lambdas captured inside ``functools.partial`` arguments.
+    """
+
+    code = "TNT003"
+    name = "scheduler callables must resolve picklable through the reference chain"
+    companions = ("EXC001",)
+
+    def _lambda_binding_of(
+        self, ctx: "ProjectContext", module: str, chain: tuple[str, ...], depth: int = 0
+    ) -> tuple[str, str] | None:
+        """Follow a reference chain to a module-level lambda binding."""
+        if depth > 8 or not chain:
+            return None
+        summary = ctx.summaries.get(module)
+        if summary is None:
+            return None
+        head = chain[0]
+        if len(chain) == 1:
+            if head in summary.lambda_bindings:
+                return (module, head)
+            alias = summary.aliases.get(head)
+            if alias is not None and alias != chain:
+                return self._lambda_binding_of(ctx, module, alias, depth + 1)
+        binding = ctx.index.bindings.get(module, {}).get(head)
+        if binding is None:
+            return None
+        if binding[0] == "symbol":
+            _, target_mod, symbol = binding
+            if target_mod in ctx.summaries:
+                return self._lambda_binding_of(
+                    ctx, target_mod, (symbol,) + chain[1:], depth + 1
+                )
+            return None
+        dotted = ".".join((binding[1],) + chain[1:])
+        prefix = ctx.index.longest_module_prefix(dotted)
+        if prefix is None or len(dotted) == len(prefix):
+            return None
+        rest = tuple(dotted[len(prefix) + 1 :].split("."))
+        return self._lambda_binding_of(ctx, prefix, rest, depth + 1)
+
+    def check(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        for module in sorted(ctx.summaries):
+            summary = ctx.summaries[module]
+            for ref in summary.callable_refs:
+                if self.allowed(ctx, module, ref.lineno):
+                    continue
+                if ref.kind == "captured_lambda":
+                    yield self.finding(
+                        ctx,
+                        module,
+                        ref.lineno,
+                        ref.col,
+                        f"lambda captured in a functools.partial argument "
+                        f"handed to {ref.sink}: the partial pickles its "
+                        "bound arguments too, and lambdas cannot — bind a "
+                        "module-level function instead",
+                        ref.source_line,
+                    )
+                elif ref.kind == "name":
+                    located = self._lambda_binding_of(ctx, module, ref.chain)
+                    if located is not None:
+                        target_mod, name = located
+                        yield self.finding(
+                            ctx,
+                            module,
+                            ref.lineno,
+                            ref.col,
+                            f"`{'.'.join(ref.chain)}` handed to {ref.sink} "
+                            f"resolves to the module-level lambda binding "
+                            f"`{name}` in {target_mod}: it pickles by "
+                            'qualname "<lambda>" and cannot round-trip to '
+                            "a worker — def a module-level function",
+                            ref.source_line,
+                        )
+
+
+# --------------------------------------------------------------------- LAY001
+
+#: The declared layer DAG (package -> rank).  A module-level import must
+#: target a strictly lower rank (or its own package); function-scoped lazy
+#: imports — the sanctioned registry/factory idiom — are exempt, as are
+#: ``TYPE_CHECKING`` blocks.  ``repro`` itself (the façade) re-exports
+#: downward from the top and is exempt as a source.
+LAYERS: dict[str, int] = {
+    "repro._version": 0,
+    "repro.errors": 0,
+    "repro.crypto": 1,
+    "repro.sim": 1,
+    "repro.net": 2,
+    "repro.obs": 2,
+    "repro.structured": 2,
+    "repro.analysis": 2,
+    "repro.onion": 3,
+    "repro.filesharing": 3,
+    "repro.core": 4,
+    "repro.baselines": 5,
+    "repro.workloads": 5,
+    "repro.attacks": 6,
+    "repro.serve": 6,
+    "repro.exec": 7,
+    "repro.experiments": 8,
+    "repro.campaigns": 8,
+}
+
+#: devtools may import only these runtime packages (it analyzes the
+#: runtime; it must never *be* the runtime).
+_DEVTOOLS_ALLOWED = ("repro.devtools", "repro.errors", "repro._version")
+
+
+def _package_of(module: str) -> str | None:
+    """The declared layering package a module belongs to, if any."""
+    if module == "repro.devtools" or module.startswith("repro.devtools."):
+        return "repro.devtools"
+    best: str | None = None
+    for pkg in LAYERS:
+        if module == pkg or module.startswith(pkg + "."):
+            if best is None or len(pkg) > len(best):
+                best = pkg
+    return best
+
+
+@register_project_rule
+class LayerDAG(ProjectRule):
+    """LAY001: module-level imports must respect the declared layer DAG.
+
+    Also detects module-granularity import cycles over the executed
+    (module-scope, non-``TYPE_CHECKING``) edges — a cycle that happens to
+    import today is one reordering away from an ``ImportError``, and it
+    makes the layer diagram a lie either way.
+    """
+
+    code = "LAY001"
+    name = "imports follow the declared layer DAG (no upward module-level imports)"
+
+    def _import_violation(
+        self, src_module: str, dst_module: str
+    ) -> str | None:
+        if src_module == "repro" or dst_module == "repro":
+            return None  # the façade package re-exports from the top
+        src_pkg = _package_of(src_module)
+        dst_pkg = _package_of(dst_module)
+        if src_pkg == "repro.devtools":
+            if dst_pkg == "repro.devtools" or _in_packages(
+                dst_module, _DEVTOOLS_ALLOWED
+            ):
+                return None
+            return (
+                f"devtools must not import runtime code ({dst_module}); "
+                "the analyzer cannot depend on what it analyzes"
+            )
+        if src_pkg is None:
+            if not src_module.startswith("repro."):
+                return None  # not our tree: nothing declared, nothing owed
+            return (
+                f"package of {src_module} is not in the declared layering; "
+                "add it to repro.devtools.analyze.rules.LAYERS"
+            )
+        if dst_pkg is None or src_pkg == dst_pkg:
+            return None
+        if dst_pkg == "repro.devtools":
+            return f"runtime code must not import devtools ({dst_module})"
+        if LAYERS[dst_pkg] >= LAYERS[src_pkg]:
+            return (
+                f"{src_pkg} (layer {LAYERS[src_pkg]}) imports {dst_pkg} "
+                f"(layer {LAYERS[dst_pkg]}) at module level — an upward "
+                "dependency; invert it or make the import function-scoped "
+                "(the lazy registry/factory idiom)"
+            )
+        return None
+
+    def check(self, ctx: "ProjectContext") -> Iterator[Finding]:
+        # upward module-level imports (one finding per line+target: a
+        # `from m import a, b` line yields two records but one violation)
+        seen: set[tuple[str, int, str]] = set()
+        for module in sorted(ctx.summaries):
+            summary = ctx.summaries[module]
+            for rec in summary.imports:
+                if rec.scope != "module" or rec.type_checking:
+                    continue
+                target = ctx.index.longest_module_prefix(
+                    f"{rec.module}.{rec.name}" if rec.name else rec.module
+                )
+                if target is None or target == module:
+                    continue
+                message = self._import_violation(module, target)
+                if message is None:
+                    continue
+                if (module, rec.lineno, target) in seen:
+                    continue
+                seen.add((module, rec.lineno, target))
+                if self.allowed(ctx, module, rec.lineno):
+                    continue
+                yield self.finding(
+                    ctx, module, rec.lineno, 1, message, rec.source_line
+                )
+        # module-level import cycles
+        for cycle in ctx.imports.cycles():
+            first = cycle[0]
+            summary = ctx.summaries.get(first)
+            if summary is None:
+                continue
+            nxt = cycle[1] if len(cycle) > 1 else first
+            lineno = 1
+            source_line = ""
+            for rec in summary.imports:
+                if rec.scope != "module" or rec.type_checking:
+                    continue
+                target = ctx.index.longest_module_prefix(
+                    f"{rec.module}.{rec.name}" if rec.name else rec.module
+                )
+                if target == nxt:
+                    lineno = rec.lineno
+                    source_line = rec.source_line
+                    break
+            if self.allowed(ctx, first, lineno):
+                continue
+            loop_ = " -> ".join(cycle + [first])
+            yield self.finding(
+                ctx,
+                first,
+                lineno,
+                1,
+                f"module-level import cycle: {loop_}; break it with a "
+                "function-scoped import or by moving the shared piece down "
+                "a layer",
+                source_line,
+            )

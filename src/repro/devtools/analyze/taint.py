@@ -1,0 +1,169 @@
+"""Reachability over the call graph, reported as concrete call paths.
+
+The walker answers one question for every taint rule: *from this set of
+entry functions, which sink call sites are reachable, and through which
+calls?*  It runs one multi-source BFS per rule (entries sorted, adjacency
+sorted), so for every reachable sink exactly one finding is produced with
+the **shortest** entry→sink path — deterministic regardless of how many
+entries reach the same sink.
+
+A path is a list of :class:`Hop` objects: each hop is a call site
+(``file:line``) plus the function it calls into, ending at the sink call
+itself.  Rules turn paths into findings anchored at the sink line, so the
+existing inline-pragma machinery keeps working — a ``# lint: allow[...]``
+on the sink line sanctions every path into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.devtools.analyze.graphs import CallGraph, ExternalCall, FuncKey, ProjectIndex
+from repro.devtools.analyze.summaries import CallSite
+
+__all__ = ["Hop", "CallPath", "reachable_paths", "shortest_path_to"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One step of a call path: ``caller`` calls ``target`` at a site."""
+
+    caller: FuncKey
+    target: str  # FuncKey for project hops, dotted name for the sink hop
+    path: str  # repo-relative file of the call site
+    lineno: int
+
+    def render(self) -> str:
+        return f"{self.target} ({self.path}:{self.lineno})"
+
+
+@dataclass(frozen=True)
+class CallPath:
+    """An entry function, the hops taken, and the sink call reached."""
+
+    entry: FuncKey
+    hops: tuple[Hop, ...]
+    sink: ExternalCall
+
+    def render(self) -> str:
+        """``entry -> hop -> ... -> sink`` with file:line per hop."""
+        parts = [self.entry]
+        parts.extend(hop.render() for hop in self.hops)
+        return " -> ".join(parts)
+
+    def render_hops(self) -> str:
+        """The hops alone (callers prepend their own entry label)."""
+        return " -> ".join(hop.render() for hop in self.hops)
+
+
+def _file_of(index: ProjectIndex, key: FuncKey) -> str:
+    summary = index.summary_of(key)
+    return summary.path if summary is not None else "?"
+
+
+def shortest_path_to(
+    index: ProjectIndex,
+    calls: CallGraph,
+    parents: dict[FuncKey, tuple[FuncKey, CallSite] | None],
+    target: FuncKey,
+) -> tuple[FuncKey, tuple[Hop, ...]]:
+    """Reconstruct the BFS path into ``target`` from the parent map."""
+    hops: list[Hop] = []
+    node = target
+    while True:
+        parent = parents[node]
+        if parent is None:
+            break
+        caller, site = parent
+        hops.append(
+            Hop(
+                caller=caller,
+                target=node,
+                path=_file_of(index, caller),
+                lineno=site.lineno,
+            )
+        )
+        node = caller
+    hops.reverse()
+    return node, tuple(hops)
+
+
+def reachable_paths(
+    index: ProjectIndex,
+    calls: CallGraph,
+    entries: Iterable[FuncKey],
+    *,
+    sink_match: Callable[[ExternalCall], bool],
+    follow_edge: Callable[[FuncKey, FuncKey], bool] | None = None,
+    project_sink: Callable[[FuncKey], bool] | None = None,
+) -> list[CallPath]:
+    """All sink sites reachable from ``entries``, one shortest path each.
+
+    ``sink_match`` classifies external calls as sinks.  ``follow_edge``
+    can prune traversal (e.g. stop at coroutine boundaries); it receives
+    (caller, callee) and returns whether to walk the edge.
+    ``project_sink`` optionally marks whole project *functions* as sinks —
+    the path then ends at the call into that function.
+    """
+    roots = sorted(set(entries))
+    parents: dict[FuncKey, tuple[FuncKey, CallSite] | None] = {
+        root: None for root in roots
+    }
+    order: list[FuncKey] = list(roots)
+    frontier: list[FuncKey] = list(roots)
+    while frontier:
+        next_frontier: list[FuncKey] = []
+        for node in frontier:
+            for edge in calls.edges_from.get(node, ()):
+                if follow_edge is not None and not follow_edge(node, edge.callee):
+                    continue
+                if edge.callee in parents:
+                    continue
+                if index.function(edge.callee) is None:
+                    continue
+                parents[edge.callee] = (node, edge.site)
+                next_frontier.append(edge.callee)
+                order.append(edge.callee)
+        frontier = next_frontier
+
+    paths: list[CallPath] = []
+    seen_sites: set[tuple[str, int, str]] = set()
+    for node in order:
+        if project_sink is not None and project_sink(node) and parents[node] is not None:
+            entry, hops = shortest_path_to(index, calls, parents, node)
+            last = hops[-1]
+            pseudo = ExternalCall(
+                caller=last.caller,
+                dotted=node,
+                site=CallSite(
+                    chain=(node,),
+                    lineno=last.lineno,
+                    col=1,
+                    awaited=False,
+                    n_args=0,
+                    source_line="",
+                ),
+            )
+            site_id = (last.path, last.lineno, node)
+            if site_id not in seen_sites:
+                seen_sites.add(site_id)
+                paths.append(CallPath(entry=entry, hops=hops, sink=pseudo))
+        for call in calls.external_from.get(node, ()):
+            if not sink_match(call):
+                continue
+            sink_file = _file_of(index, node)
+            site_id = (sink_file, call.site.lineno, call.dotted)
+            if site_id in seen_sites:
+                continue
+            seen_sites.add(site_id)
+            entry, hops = shortest_path_to(index, calls, parents, node)
+            sink_hop = Hop(
+                caller=node,
+                target=call.dotted,
+                path=sink_file,
+                lineno=call.site.lineno,
+            )
+            paths.append(CallPath(entry=entry, hops=hops + (sink_hop,), sink=call))
+    paths.sort(key=lambda p: (p.sink.caller, p.sink.site.lineno, p.sink.dotted))
+    return paths

@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print registered rules and exit"
     )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program rules (TNT*/LAY*) over the same paths",
+    )
     return parser
 
 
@@ -71,8 +76,21 @@ def main(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int
 
     root = Path(args.root).resolve()
     config = load_config(root)
+    select = args.select or config.select
+    ignore = args.ignore or config.ignore
+    project_codes: set[str] = set()
+    if args.project:
+        # project rules live in a separate registry; carve their codes out
+        # of --select so `--project --select TNT001` means "only TNT001".
+        from repro.devtools.analyze.rules import all_project_rules
+
+        project_codes = {r.code for r in all_project_rules()}
     try:
-        rules = resolve_rules(args.select or config.select, args.ignore or config.ignore)
+        file_select = [c for c in select if c not in project_codes] if select else None
+        if select and not file_select:
+            rules = []  # only project codes selected
+        else:
+            rules = resolve_rules(file_select, ignore)
     except KeyError as exc:
         print(f"hirep-lint: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -90,6 +108,29 @@ def main(argv: Sequence[str] | None = None, stream: TextIO | None = None) -> int
         exclude=config.exclude,
         severity_overrides=config.severity,
     )
+
+    if args.project:
+        from repro.devtools.analyze.cache import DEFAULT_CACHE_DIR, SummaryCache
+        from repro.devtools.analyze.project import analyze_project
+        from repro.devtools.lint.findings import sort_findings
+
+        wanted = [
+            r
+            for r in all_project_rules()
+            if (not select or r.code in set(select))
+            and (not ignore or r.code not in set(ignore))
+        ]
+        if wanted:
+            analysis = analyze_project(
+                targets,
+                repo_root=root,
+                cache=SummaryCache(directory=root / DEFAULT_CACHE_DIR),
+                exclude=config.exclude,
+                rules=wanted,
+                severity_overrides=config.severity,
+            )
+            result.findings = sort_findings(result.findings + analysis.findings)
+            result.errors.extend(analysis.errors)
 
     baseline_path = root / (args.baseline or config.baseline)
     if args.no_baseline:

@@ -8,9 +8,19 @@ progress, wall-clock latency spans inflate, and the quiescence drain can
 deadlock against the very frame it is waiting for.  Await instead
 (``asyncio.sleep``, ``asyncio.open_connection``, executor offload).
 
+Beyond the module-level blocking chains, the rule flags two shapes that
+only exist inside a running loop: ``loop.run_until_complete(...)`` in a
+coroutine (re-entering the loop from inside itself raises or deadlocks —
+await the coroutine instead) and bare, non-awaited socket/stream reads
+(``sock.recv(...)``, ``conn.read()``) whose awaited asyncio counterparts
+exist precisely so the loop keeps scheduling while bytes are in flight.
+
 The rule walks only coroutine bodies; a synchronous ``def`` nested inside
 an ``async def`` (callbacks handed to the loop, key functions) runs
-outside the await chain and is not flagged.
+outside the await chain and is not flagged.  Blocking calls hidden behind
+*synchronous helpers called from* a coroutine are out of per-file reach —
+the whole-program rule TNT002 (:mod:`repro.devtools.analyze.rules`)
+closes that gap by walking the call graph from every serve coroutine.
 """
 
 from __future__ import annotations
@@ -36,8 +46,30 @@ _BLOCKING_CHAINS: dict[tuple[str, ...], str] = {
     ("subprocess", "Popen"): "asyncio.create_subprocess_exec",
 }
 
+#: method names that read/write a socket or stream synchronously; flagged
+#: only when the call is *not* awaited (``await reader.read(n)`` is the
+#: asyncio-stream idiom and exactly right).
+_SOCKET_METHODS: dict[str, str] = {
+    "recv": "await reader.read(n) on an asyncio stream",
+    "recv_into": "await reader.read(n) on an asyncio stream",
+    "recvfrom": "asyncio datagram transports",
+    "sendall": "writer.write(...) + await writer.drain()",
+    "read": "await reader.read(...)",
+}
 
-def _blocking_calls(body: list[ast.stmt]) -> Iterator[tuple[ast.Call, str, str]]:
+
+def _awaited_calls(root: ast.AST) -> set[int]:
+    """ids of Call nodes that appear directly under an ``await``."""
+    return {
+        id(node.value)
+        for node in ast.walk(root)
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call)
+    }
+
+
+def _blocking_calls(
+    body: list[ast.stmt], awaited: set[int]
+) -> Iterator[tuple[ast.Call, str, str]]:
     """Yield (call, dotted-name, fix) for blocking calls reachable from ``body``.
 
     Descends into everything except nested function/class definitions —
@@ -56,6 +88,18 @@ def _blocking_calls(body: list[ast.stmt]) -> Iterator[tuple[ast.Call, str, str]]
             fix = _BLOCKING_CHAINS.get(chain)
             if fix is not None:
                 yield node, ".".join(chain), fix
+            elif chain and chain[-1] == "run_until_complete":
+                yield (
+                    node,
+                    ".".join(chain),
+                    "await the coroutine (the loop is already running here)",
+                )
+            elif (
+                len(chain) >= 2
+                and chain[-1] in _SOCKET_METHODS
+                and id(node) not in awaited
+            ):
+                yield node, ".".join(chain), _SOCKET_METHODS[chain[-1]]
         stack.extend(ast.iter_child_nodes(node))
 
 
@@ -71,7 +115,8 @@ class NoBlockingCallsInCoroutines(Rule):
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.AsyncFunctionDef):
                 continue
-            for call, dotted, fix in _blocking_calls(node.body):
+            awaited = _awaited_calls(node)
+            for call, dotted, fix in _blocking_calls(node.body, awaited):
                 yield ctx.finding(
                     self,
                     call,

@@ -16,8 +16,6 @@ from __future__ import annotations
 import sys
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
-from repro.experiments.common import format_table
-
 if TYPE_CHECKING:  # JobOutcome only flows in; scheduler does not import us back
     from repro.exec.scheduler import JobOutcome
 
@@ -82,6 +80,9 @@ def summary_table(outcomes: Iterable[JobOutcome]) -> str:
                 f"{outcome.rss_kb / 1024:.0f}" if outcome.rss_kb else "-",
             )
         )
+    # lazy: exec sits below experiments in the layer DAG (LAY001)
+    from repro.experiments.common import format_table
+
     return format_table(
         ["job", "status", "attempts", "time_s", "rss_mb"],
         rows,

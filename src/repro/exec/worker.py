@@ -38,14 +38,16 @@ import sys
 import time
 from typing import Any
 
-from repro.experiments.common import ExperimentResult
-from repro.experiments.export import result_from_dict, result_to_dict
-
 __all__ = ["execute_spec", "encode_value", "decode_payload"]
 
 
 def encode_value(value: Any) -> dict:
     """Wrap a job return value in a typed, JSON-able payload."""
+    # lazy: exec sits below experiments in the layer DAG (LAY001); the
+    # experiment-result codec is only needed when a job returns one
+    from repro.experiments.common import ExperimentResult
+    from repro.experiments.export import result_to_dict
+
     if isinstance(value, ExperimentResult):
         return {"kind": "experiment_result", "value": result_to_dict(value, exact=True)}
     return {"kind": "value", "value": value}
@@ -55,6 +57,8 @@ def decode_payload(payload: dict) -> Any:
     """Invert :func:`encode_value` (cache replay takes this path too)."""
     kind = payload.get("kind")
     if kind == "experiment_result":
+        from repro.experiments.export import result_from_dict
+
         return result_from_dict(payload["value"])
     if kind == "value":
         return payload["value"]

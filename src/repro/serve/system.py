@@ -109,6 +109,7 @@ class ServeSystem(TransactionRuntime):
         self.drain_per_tx = True
         self.lost_transactions = 0
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._bootstrap_lock = asyncio.Lock()
         self._install_taps()
 
     # ------------------------------------------------------------------
@@ -172,8 +173,16 @@ class ServeSystem(TransactionRuntime):
         accounting — only delivery is asynchronous.
         """
         if not self.maintenance.bootstrapped:
-            self.maintenance.bootstrap()
-            self.supervisor.checkpoint_all()
+            # Fleet-wide bootstrap is seconds of synchronous compute; run
+            # on the loop it would stall every actor (TNT002), so offload
+            # to a worker thread.  The lock serializes concurrent first
+            # transactions: one bootstraps, the rest wait and re-check.
+            # Safe off-loop: discovery is direct compute + counters, it
+            # never posts transport frames.
+            async with self._bootstrap_lock:
+                if not self.maintenance.bootstrapped:
+                    await asyncio.to_thread(self.maintenance.bootstrap)
+                    self.supervisor.checkpoint_all()
         req, prov = self.pick_pair(requestor)
         if provider is not None:
             if not 0 <= provider < len(self.peers):

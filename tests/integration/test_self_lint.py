@@ -43,3 +43,52 @@ def test_committed_baseline_only_shrinks():
 
     baseline = json.loads((REPO_ROOT / ".hirep-lint-baseline.json").read_text())
     assert baseline == {"findings": {}, "version": 1}
+    project = json.loads((REPO_ROOT / ".hirep-analyze-baseline.json").read_text())
+    assert project == {"findings": {}, "version": 1}
+
+
+def test_bundled_project_rule_set_is_complete():
+    from repro.devtools.analyze import all_project_rules
+
+    assert [r.code for r in all_project_rules()] == [
+        "LAY001",
+        "TNT001",
+        "TNT002",
+        "TNT003",
+    ]
+
+
+def test_live_tree_is_clean_under_project_analysis(tmp_path):
+    """The interprocedural rules pass over the live tree.
+
+    Guards the taint closures the per-file self-lint cannot see: a
+    wall-clock read reached through a helper module, a serve coroutine
+    blocking three sync calls deep, an import inverting the layer DAG.
+    The cache is pointed at a throwaway directory so this test never
+    touches (or depends on) a developer's warm cache.
+    """
+    from repro.devtools.analyze.cli import main as analyze_main
+
+    out = io.StringIO()
+    code = analyze_main(
+        [
+            "src",
+            "examples",
+            "--root",
+            str(REPO_ROOT),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ],
+        stream=out,
+    )
+    assert code == 0, f"hirep-analyze found new violations:\n{out.getvalue()}"
+
+
+def test_lint_project_flag_is_clean_on_live_tree(tmp_path):
+    """``hirep-lint --project`` (the CI entry point) agrees."""
+    out = io.StringIO()
+    code = main(
+        ["src", "examples", "--root", str(REPO_ROOT), "--project"],
+        stream=out,
+    )
+    assert code == 0, f"hirep-lint --project found violations:\n{out.getvalue()}"

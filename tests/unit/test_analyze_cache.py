@@ -1,0 +1,106 @@
+"""Summary cache: hits, misses, invalidation, schema versioning."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.analyze import SUMMARY_SCHEMA, extract_summary, source_digest
+from repro.devtools.analyze.cache import SummaryCache
+from repro.devtools.analyze.project import collect_summaries
+
+
+def summary_for(source: str):
+    return extract_summary(source, module="repro.sim.mod", path="src/mod.py")
+
+
+def test_put_then_get_hits(tmp_path):
+    cache = SummaryCache(directory=tmp_path / "cache")
+    s = summary_for("def f():\n    pass\n")
+    cache.put(s)
+    got = cache.get(s.digest)
+    assert got is not None and got.to_dict() == s.to_dict()
+    assert cache.stats.hits == 1 and cache.stats.stored == 1
+
+
+def test_get_unknown_digest_misses(tmp_path):
+    cache = SummaryCache(directory=tmp_path / "cache")
+    assert cache.get(source_digest("nope")) is None
+    assert cache.stats.misses == 1
+
+
+def test_disabled_cache_never_hits(tmp_path):
+    cache = SummaryCache.disabled()
+    s = summary_for("def f():\n    pass\n")
+    cache.put(s)
+    assert cache.get(s.digest) is None
+    assert cache.stats.stored == 0
+
+
+def test_schema_mismatch_is_a_miss(tmp_path):
+    cache = SummaryCache(directory=tmp_path / "cache")
+    s = summary_for("def f():\n    pass\n")
+    cache.put(s)
+    entry = tmp_path / "cache" / f"{s.digest}.json"
+    data = json.loads(entry.read_text())
+    data["schema"] = SUMMARY_SCHEMA + 1
+    entry.write_text(json.dumps(data))
+    assert cache.get(s.digest) is None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = SummaryCache(directory=tmp_path / "cache")
+    s = summary_for("def f():\n    pass\n")
+    cache.put(s)
+    (tmp_path / "cache" / f"{s.digest}.json").write_text("{not json")
+    assert cache.get(s.digest) is None
+
+
+def make_tree(tmp_path, source: str):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg.parent / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(source)
+    return tmp_path / "src"
+
+
+def test_warm_run_reparses_nothing(tmp_path):
+    """The acceptance property: an unchanged tree is never re-parsed."""
+    src = make_tree(tmp_path, "def f():\n    pass\n")
+    cache1 = SummaryCache(directory=tmp_path / "cache")
+    collect_summaries([src], repo_root=tmp_path, cache=cache1)
+    # the two empty __init__.py files share a digest: the second is
+    # already a hit within the cold run
+    assert cache1.stats.misses == 2 and cache1.stats.stored == 2
+
+    cache2 = SummaryCache(directory=tmp_path / "cache")
+    summaries, errors = collect_summaries([src], repo_root=tmp_path, cache=cache2)
+    assert errors == []
+    assert cache2.stats.misses == 0 and cache2.stats.stored == 0
+    assert cache2.stats.hits == 3
+    assert set(summaries) == {"repro", "repro.sim", "repro.sim.mod"}
+
+
+def test_edited_file_invalidates_only_itself(tmp_path):
+    src = make_tree(tmp_path, "def f():\n    pass\n")
+    cache_dir = tmp_path / "cache"
+    collect_summaries([src], repo_root=tmp_path, cache=SummaryCache(directory=cache_dir))
+
+    (src / "repro" / "sim" / "mod.py").write_text("def g():\n    pass\n")
+    cache = SummaryCache(directory=cache_dir)
+    summaries, _ = collect_summaries([src], repo_root=tmp_path, cache=cache)
+    assert cache.stats.misses == 1  # just the edited file
+    assert cache.stats.hits == 2
+    assert "g" in summaries["repro.sim.mod"].functions
+
+
+def test_identical_content_at_two_paths_repoints(tmp_path):
+    """Empty ``__init__.py`` files share a digest; each must keep its path."""
+    src = make_tree(tmp_path, "def f():\n    pass\n")
+    cache = SummaryCache(directory=tmp_path / "cache")
+    collect_summaries([src], repo_root=tmp_path, cache=cache)
+    summaries, _ = collect_summaries(
+        [src], repo_root=tmp_path, cache=SummaryCache(directory=tmp_path / "cache")
+    )
+    assert summaries["repro"].path == "src/repro/__init__.py"
+    assert summaries["repro.sim"].path == "src/repro/sim/__init__.py"

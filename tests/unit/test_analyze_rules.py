@@ -1,0 +1,372 @@
+"""Each project rule (TNT001/TNT002/TNT003/LAY001) against fixture trees."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.analyze import analyze_project
+from repro.devtools.analyze.rules import resolve_project_rules
+
+
+def analyze(tmp_path: Path, files: dict[str, str], select: list[str] | None = None):
+    """Materialize ``module -> source`` as a package tree and analyze it."""
+    src = tmp_path / "src"
+    for module, source in files.items():
+        path = src.joinpath(*module.split(".")).with_suffix(".py")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != src:
+            (parent / "__init__.py").touch()
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+    result = analyze_project(
+        [src], repo_root=tmp_path, rules=resolve_project_rules(select)
+    )
+    assert not result.errors, result.errors
+    return result.findings
+
+
+def codes(findings) -> list[str]:
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------- TNT001
+
+
+CLOCK_HELPER = {
+    "repro.workloads.util": "import time\n\ndef stamp():\n    return time.time()\n",
+    "repro.sim.run": (
+        "from repro.workloads.util import stamp\n\ndef go():\n    return stamp()\n"
+    ),
+}
+
+
+def test_tnt001_flags_cross_module_clock_reach(tmp_path):
+    findings = analyze(tmp_path, CLOCK_HELPER, ["TNT001"])
+    assert codes(findings) == ["TNT001"]
+    f = findings[0]
+    assert f.path.endswith("workloads/util.py")  # anchored at the sink
+    assert "repro.sim.run.go" in f.message  # entry
+    assert " -> " in f.message and "util.py:4" in f.message  # hops w/ file:line
+
+
+def test_tnt001_flags_entropy_sources(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.workloads.util": (
+                "import os\nimport uuid\n\n"
+                "def salt():\n    return os.urandom(8)\n\n"
+                "def tag():\n    return uuid.uuid4()\n"
+            ),
+            "repro.core.run": (
+                "from repro.workloads.util import salt, tag\n\n"
+                "def go():\n    return salt(), tag()\n"
+            ),
+        },
+        ["TNT001"],
+    )
+    assert codes(findings) == ["TNT001", "TNT001"]
+
+
+def test_tnt001_skips_clock_sinks_in_det002_scope(tmp_path):
+    # a clock read inside repro.obs is the per-file rule's (DET002) ground
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.obs.clockish": "import time\n\ndef stamp():\n    return time.time()\n",
+            "repro.sim.run": (
+                "from repro.obs.clockish import stamp\n\ndef go():\n    return stamp()\n"
+            ),
+        },
+        ["TNT001"],
+    )
+    assert findings == []
+
+
+def test_tnt001_ignores_entries_outside_deterministic_packages(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.workloads.util": "import time\n\ndef stamp():\n    return time.time()\n",
+            "repro.serve.run": (
+                "from repro.workloads.util import stamp\n\ndef go():\n    return stamp()\n"
+            ),
+        },
+        ["TNT001"],
+    )
+    assert findings == []
+
+
+def test_tnt001_pragma_at_sink_sanctions_every_path(tmp_path):
+    files = dict(CLOCK_HELPER)
+    files["repro.workloads.util"] = (
+        "import time\n\ndef stamp():\n"
+        "    return time.time()  # lint: allow[DET002]\n"
+    )
+    assert analyze(tmp_path, files, ["TNT001"]) == []
+
+
+# ---------------------------------------------------------------- TNT002
+
+
+BLOCKING_HELPER = {
+    "repro.core.util": "import time\n\ndef settle():\n    time.sleep(0.1)\n",
+    "repro.serve.actor": (
+        "from repro.core.util import settle\n\n"
+        "async def run():\n    settle()\n"
+    ),
+}
+
+
+def test_tnt002_flags_blocking_reach_through_sync_helper(tmp_path):
+    findings = analyze(tmp_path, BLOCKING_HELPER, ["TNT002"])
+    assert codes(findings) == ["TNT002"]
+    f = findings[0]
+    assert f.path.endswith("core/util.py")
+    assert "repro.serve.actor.run" in f.message
+    assert "time.sleep" in f.message
+
+
+def test_tnt002_flags_run_until_complete_and_open(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.core.util": (
+                "import asyncio\n\n"
+                "def reenter(loop, coro):\n    return loop.run_until_complete(coro)\n\n"
+                "def slurp(p):\n    return open(p).read()\n"
+            ),
+            "repro.serve.actor": (
+                "from repro.core.util import reenter, slurp\n\n"
+                "async def run(loop, coro, p):\n    reenter(loop, coro)\n    slurp(p)\n"
+            ),
+        },
+        ["TNT002"],
+    )
+    assert codes(findings) == ["TNT002", "TNT002"]
+
+
+def test_tnt002_leaves_direct_coroutine_blocking_to_srv001(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.serve.actor": (
+                "import time\n\nasync def run():\n    time.sleep(1)\n"
+            )
+        },
+        ["TNT002"],
+    )
+    assert findings == []
+
+
+def test_tnt002_srv001_pragma_suppresses(tmp_path):
+    files = dict(BLOCKING_HELPER)
+    files["repro.core.util"] = (
+        "import time\n\ndef settle():\n"
+        "    time.sleep(0.1)  # lint: allow[SRV001]\n"
+    )
+    assert analyze(tmp_path, files, ["TNT002"]) == []
+
+
+# ---------------------------------------------------------------- TNT003
+
+
+def test_tnt003_resolves_module_level_lambda_through_import(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.workloads.fns": "work = lambda: 1\n",
+            "repro.exec.runner": (
+                "from repro.workloads.fns import work\n\n"
+                "def go(pool):\n    pool.submit(work)\n"
+            ),
+        },
+        ["TNT003"],
+    )
+    assert codes(findings) == ["TNT003"]
+    assert "repro.workloads.fns" in findings[0].message
+
+
+def test_tnt003_follows_reexport_chain(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.workloads.fns": "work = lambda: 1\n",
+            "repro.workloads.api": "from repro.workloads.fns import work\n",
+            "repro.exec.runner": (
+                "from repro.workloads.api import work\n\n"
+                "def go(pool):\n    pool.submit(work)\n"
+            ),
+        },
+        ["TNT003"],
+    )
+    assert codes(findings) == ["TNT003"]
+
+
+def test_tnt003_flags_lambda_captured_in_partial(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.exec.runner": (
+                "from functools import partial\n\n"
+                "def work(key):\n    return key(1)\n\n"
+                "def go(pool):\n    pool.submit(partial(work, key=lambda x: x))\n"
+            ),
+        },
+        ["TNT003"],
+    )
+    assert codes(findings) == ["TNT003"]
+    assert "partial" in findings[0].message
+
+
+def test_tnt003_module_level_def_is_clean(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.workloads.fns": "def work():\n    return 1\n",
+            "repro.exec.runner": (
+                "from repro.workloads.fns import work\n\n"
+                "def go(pool):\n    pool.submit(work)\n"
+            ),
+        },
+        ["TNT003"],
+    )
+    assert findings == []
+
+
+def test_tnt003_pragma_suppresses(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.workloads.fns": "work = lambda: 1\n",
+            "repro.exec.runner": (
+                "from repro.workloads.fns import work\n\n"
+                "def go(pool):\n    pool.submit(work)  # lint: allow[TNT003]\n"
+            ),
+        },
+        ["TNT003"],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------- LAY001
+
+
+def test_lay001_flags_upward_module_level_import(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.net.mod": "from repro.core.system import boot\n",
+            "repro.core.system": "def boot():\n    pass\n",
+        },
+        ["LAY001"],
+    )
+    assert codes(findings) == ["LAY001"]
+    assert "upward" in findings[0].message
+
+
+def test_lay001_one_finding_per_import_line(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.net.mod": "from repro.core.system import boot, shut\n",
+            "repro.core.system": "def boot():\n    pass\n\ndef shut():\n    pass\n",
+        },
+        ["LAY001"],
+    )
+    assert codes(findings) == ["LAY001"]
+
+
+def test_lay001_lazy_and_type_checking_imports_are_exempt(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.net.mod": textwrap.dedent(
+                """
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    from repro.core.system import HiRepSystem
+
+                def factory():
+                    from repro.core.system import boot
+                    return boot
+                """
+            ),
+            "repro.core.system": "def boot():\n    pass\n",
+        },
+        ["LAY001"],
+    )
+    assert findings == []
+
+
+def test_lay001_downward_and_same_package_are_clean(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.core.system": (
+                "from repro.sim.engine import step\n"
+                "from repro.core.agent import Agent\n"
+            ),
+            "repro.sim.engine": "def step():\n    pass\n",
+            "repro.core.agent": "class Agent:\n    pass\n",
+        },
+        ["LAY001"],
+    )
+    assert findings == []
+
+
+def test_lay001_detects_import_cycles(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.net.a": "from repro.net.b import f\n",
+            "repro.net.b": "from repro.net.a import g\n",
+        },
+        ["LAY001"],
+    )
+    assert codes(findings) == ["LAY001"]
+    assert "cycle" in findings[0].message
+    assert "repro.net.a -> repro.net.b -> repro.net.a" in findings[0].message
+
+
+def test_lay001_devtools_must_not_import_runtime(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.devtools.tool": (
+                "from repro.errors import SimulationError\n"
+                "from repro.core.system import boot\n"
+            ),
+            "repro.errors": "class SimulationError(Exception):\n    pass\n",
+            "repro.core.system": "def boot():\n    pass\n",
+        },
+        ["LAY001"],
+    )
+    assert codes(findings) == ["LAY001"]
+    assert "devtools" in findings[0].message
+
+
+def test_lay001_pragma_on_import_line_suppresses(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.net.mod": (
+                "from repro.core.system import boot  # lint: allow[LAY001]\n"
+            ),
+            "repro.core.system": "def boot():\n    pass\n",
+        },
+        ["LAY001"],
+    )
+    assert findings == []
+
+
+def test_all_rules_run_together_and_sort_stably(tmp_path):
+    files = {**CLOCK_HELPER, **BLOCKING_HELPER}
+    files["repro.net.mod"] = "from repro.core.util import settle\n"  # upward
+    first = analyze(tmp_path, files)
+    second = analyze(tmp_path, files)
+    assert [f.fingerprint for f in first] == [f.fingerprint for f in second]
+    assert set(codes(first)) == {"TNT001", "TNT002", "LAY001"}

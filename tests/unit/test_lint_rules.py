@@ -445,3 +445,49 @@ def test_srv001_pragma_suppresses():
             time.sleep(0.1)  # lint: allow[SRV001]
     """
     assert codes(src, module="repro.serve.fake") == []
+
+
+def test_srv001_flags_run_until_complete_in_coroutine():
+    src = """
+        async def pump(loop, coro):
+            return loop.run_until_complete(coro)
+    """
+    assert codes(src, module="repro.serve.fake") == ["SRV001"]
+    src_self = """
+        async def pump(self, coro):
+            return self._loop.run_until_complete(coro)
+    """
+    assert codes(src_self, module="repro.serve.fake") == ["SRV001"]
+
+
+def test_srv001_allows_run_until_complete_in_sync_def():
+    src = """
+        def up(loop, coro):
+            return loop.run_until_complete(coro)
+    """
+    assert codes(src, module="repro.serve.fake") == []
+
+
+def test_srv001_flags_bare_socket_reads_in_coroutine():
+    src = """
+        async def pump(sock, conn):
+            data = sock.recv(4096)
+            conn.sendall(data)
+    """
+    assert codes(src, module="repro.serve.fake") == ["SRV001", "SRV001"]
+
+
+def test_srv001_allows_awaited_stream_reads():
+    src = """
+        async def pump(reader):
+            return await reader.read(4096)
+    """
+    assert codes(src, module="repro.serve.fake") == []
+
+
+def test_srv001_flags_non_awaited_read_in_coroutine():
+    src = """
+        async def pump(reader):
+            return reader.read(4096)
+    """
+    assert codes(src, module="repro.serve.fake") == ["SRV001"]
