@@ -12,11 +12,16 @@ CI-size; set ``HIREP_BENCH_SCALE=paper`` for the paper's 1000-peer runs.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 PAPER = os.environ.get("HIREP_BENCH_SCALE", "small") == "paper"
+
+#: Where the kernel-throughput records land (overridable for CI artifacts).
+KERNEL_BENCH_OUT = os.environ.get("HIREP_BENCH_KERNEL_OUT", "BENCH_kernel.json")
 
 
 @pytest.fixture(scope="session")
@@ -31,6 +36,8 @@ def scale() -> dict:
             "traffic_bound": dict(network_size=300, transactions=40),
             "robustness": dict(network_size=250),
             "ablations": dict(network_size=250),
+            "kernel": dict(sizes=(1000, 10_000), transactions=100),
+            "kernel_smoke": dict(network_size=100_000, transactions=50, floor_tx_per_sec=300.0),
         }
     return {
         "fig5": dict(network_size=600, transactions=40),
@@ -45,7 +52,39 @@ def scale() -> dict:
         "traffic_bound": dict(network_size=150, transactions=10),
         "robustness": dict(network_size=150),
         "ablations": dict(network_size=150),
+        "kernel": dict(sizes=(1000,), transactions=60),
+        "kernel_smoke": dict(network_size=20_000, transactions=30, floor_tx_per_sec=100.0),
     }
+
+
+@pytest.fixture(scope="session")
+def kernel_records():
+    """Collects per-(backend, N) throughput rows; written as JSON at exit.
+
+    ``benchmarks/test_bench_kernel.py`` appends one dict per measured cell
+    (backend, network_size, tx/sec, msgs/sec, ...).  At session end the
+    rows — plus array-over-object speedups for every network size both
+    backends covered — are written to :data:`KERNEL_BENCH_OUT` so CI can
+    upload a machine-readable artifact alongside pytest-benchmark's own
+    output.
+    """
+    records: list[dict] = []
+    yield records
+    if not records:
+        return
+    speedups = {}
+    by_size: dict[int, dict[str, float]] = {}
+    for row in records:
+        by_size.setdefault(row["network_size"], {})[row["backend"]] = row["tx_per_sec"]
+    for size, backends in sorted(by_size.items()):
+        if "hirep" in backends and "hirep-array" in backends and backends["hirep"]:
+            speedups[str(size)] = backends["hirep-array"] / backends["hirep"]
+    payload = {
+        "scale": "paper" if PAPER else "small",
+        "results": records,
+        "speedup_tx_per_sec": speedups,
+    }
+    Path(KERNEL_BENCH_OUT).write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture

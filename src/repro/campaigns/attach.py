@@ -155,7 +155,17 @@ def attach_attack(
     if spec.kind == "sybil":
         from repro.attacks.sybil import SybilOperator
 
-        host = next(iter(system.agents))
+        # A system can expose the protocol hooks yet have no reputation
+        # agents to hijack (tiny configs, degenerate bandwidth draws);
+        # degrade to the population-level reading instead of crashing.
+        agents = getattr(system, "agents", None)
+        if not agents:
+            return AttackHandle(
+                spec=spec,
+                level="config",
+                detail={"mechanism": "population-level malicious fraction"},
+            )
+        host = next(iter(agents))
         operator = SybilOperator(system, host, count=spec.count, rng=rng)
         compromised = compromised_nodes(n, spec.fraction, rng)
         operator.install(compromised=compromised)

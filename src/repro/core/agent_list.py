@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.expertise import ExpertiseTracker
 from repro.core.messages import AgentListEntry
+from repro.core.semantics import selection_order
 from repro.crypto.hashing import NodeID
 from repro.errors import ConfigError
 from repro.onion.onion import Onion
@@ -228,10 +229,7 @@ class TrustedAgentList:
         agents = self.agents()
         if not agents:
             return []
-        order = np.arange(len(agents))
-        rng.shuffle(order)
-        shuffled = [agents[int(i)] for i in order]
-        shuffled.sort(
-            key=lambda a: (a.expertise.value, a.expertise.updates), reverse=True
-        )
-        return shuffled[:count]
+        values = np.array([a.expertise.value for a in agents], dtype=np.float64)
+        updates = np.array([a.expertise.updates for a in agents], dtype=np.int64)
+        order = selection_order(values, updates, rng)
+        return [agents[int(i)] for i in order[:count]]

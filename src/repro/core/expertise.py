@@ -15,19 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.semantics import consistency_bit, consistent, ewma_step
+from repro.core.semantics import confidence as _confidence
 from repro.errors import ConfigError
 
 __all__ = ["ExpertiseTracker", "consistent"]
-
-
-def consistent(evaluation: float, outcome: float) -> bool:
-    """Whether an agent's trust evaluation agrees with the observed outcome.
-
-    Both values live in [0, 1]; they agree when they fall on the same side
-    of 0.5 (the paper's good/bad rating scopes are [0.6, 1] and [0, 0.4],
-    so 0.5 separates them cleanly).
-    """
-    return (evaluation >= 0.5) == (outcome >= 0.5)
 
 
 @dataclass
@@ -55,12 +47,13 @@ class ExpertiseTracker:
     @property
     def confidence(self) -> float:
         """How much track record backs the expertise value, in [0, 1)."""
-        return self.updates / (self.updates + 1.0)
+        return _confidence(self.updates)
 
     def update(self, evaluation: float, outcome: float) -> float:
         """Fold one transaction's consistency into the running expertise."""
-        a_c = 1.0 if consistent(evaluation, outcome) else 0.0
-        self.value = self.alpha * a_c + (1.0 - self.alpha) * self.value
+        self.value = ewma_step(
+            self.alpha, self.value, consistency_bit(evaluation, outcome)
+        )
         self.updates += 1
         return self.value
 
@@ -68,7 +61,7 @@ class ExpertiseTracker:
         """Fold a pre-computed accuracy bit (used by attack experiments)."""
         if a_c not in (0.0, 1.0):
             raise ConfigError(f"A_c must be 0 or 1, got {a_c}")
-        self.value = self.alpha * a_c + (1.0 - self.alpha) * self.value
+        self.value = ewma_step(self.alpha, self.value, a_c)
         self.updates += 1
         return self.value
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.agent_list import TrustedAgent, TrustedAgentList
 from repro.core.config import HiRepConfig
+from repro.core.semantics import aggregate_estimate
 from repro.core.messages import (
     AgentListEntry,
     TransactionReport,
@@ -380,21 +381,16 @@ class HiRepPeer:
             asked = len(pending.asked_agents)
         else:
             asked = len(pending.nonce_to_agent) + len(pending.responses)
-        num = 0.0
-        den = 0.0
+        values: list[float] = []
+        weights: list[float] = []
         for agent_id, value in pending.responses:
             agent = self.agent_list.get(agent_id)
+            values.append(value)
             if agent is None:
-                continue
-            weight = agent.expertise.value * agent.expertise.confidence
-            num += weight * value
-            den += weight
-        if den > 0:
-            estimate = num / den
-        elif pending.responses:
-            estimate = float(np.mean([v for _a, v in pending.responses]))
-        else:
-            estimate = 0.5
+                weights.append(0.0)  # vanished mid-query: contributes nothing
+            else:
+                weights.append(agent.expertise.value * agent.expertise.confidence)
+        estimate = aggregate_estimate(values, weights)
         if pending.responses and not np.isnan(pending.last_arrival):
             elapsed = pending.last_arrival - pending.started_at
         else:

@@ -135,6 +135,18 @@ def _build_hirep(config: "HiRepConfig | None", **opts: object) -> "ReputationSys
     return HiRepSystem(config, **opts)
 
 
+@register_system(
+    "hirep-array",
+    summary="hiREP on the struct-of-arrays kernel (repro.vector), for 100k+ peers",
+)
+def _build_hirep_array(
+    config: "HiRepConfig | None", **opts: object
+) -> "ReputationSystem":
+    from repro.vector.system import ArrayHiRepSystem
+
+    return ArrayHiRepSystem(config, **opts)
+
+
 @register_system("voting", summary="pure flooding poll, votes weighted equally (§5.2)")
 def _build_voting(config: "HiRepConfig | None", **opts: object) -> "ReputationSystem":
     from repro.baselines.voting import PureVotingSystem

@@ -42,16 +42,14 @@ from repro.errors import SimulationError
 from repro.net.churn import ChurnModel
 from repro.net.faults import FaultPlane
 from repro.net.latency import LatencyModel
-from repro.net.messages import Category
+from repro.core.semantics import TRUST_TRAFFIC_CATEGORIES as _TRUST_TRAFFIC_CATEGORIES
 
 __all__ = ["HiRepSystem", "TransactionOutcome"]
 
 #: Categories that constitute the paper's "trust query process" traffic.
-TRUST_TRAFFIC_CATEGORIES = (
-    Category.TRUST_QUERY,
-    Category.TRUST_RESPONSE,
-    Category.TRANSACTION_REPORT,
-)
+#: Canonical definition lives in the shared semantics seam; re-exported
+#: here for backwards compatibility (repro.serve imports it from us).
+TRUST_TRAFFIC_CATEGORIES = _TRUST_TRAFFIC_CATEGORIES
 
 #: Historical alias — hiREP outcomes now use the unified kernel record.
 TransactionOutcome = Outcome

@@ -453,6 +453,7 @@ LAYERS: dict[str, int] = {
     "repro.filesharing": 3,
     "repro.core": 4,
     "repro.baselines": 5,
+    "repro.vector": 5,
     "repro.workloads": 5,
     "repro.attacks": 6,
     "repro.serve": 6,
@@ -464,6 +465,24 @@ LAYERS: dict[str, int] = {
 #: devtools may import only these runtime packages (it analyzes the
 #: runtime; it must never *be* the runtime).
 _DEVTOOLS_ALLOWED = ("repro.devtools", "repro.errors", "repro._version")
+
+#: Fine-grained bans inside an otherwise-allowed layer edge.  The array
+#: kernel (repro.vector) may import repro.core's *shared seams* — config,
+#: interface, runtime, semantics, discovery, ranking, messages, world,
+#: trust_models — but never the object kernel's service internals: both
+#: kernels must stay swappable behind ReputationSystem, and a dependency
+#: on per-object wiring would quietly fuse them back together.
+_FORBIDDEN_INTERNALS: dict[str, tuple[str, ...]] = {
+    "repro.vector": (
+        "repro.core.system",
+        "repro.core.services",
+        "repro.core.peer",
+        "repro.core.agent",
+        "repro.core.agent_list",
+        "repro.core.dispatch",
+        "repro.core.expertise",
+    ),
+}
 
 
 def _package_of(module: str) -> str | None:
@@ -513,6 +532,15 @@ class LayerDAG(ProjectRule):
             return (
                 f"package of {src_module} is not in the declared layering; "
                 "add it to repro.devtools.analyze.rules.LAYERS"
+            )
+        banned = _FORBIDDEN_INTERNALS.get(src_pkg)
+        if banned and any(
+            dst_module == b or dst_module.startswith(b + ".") for b in banned
+        ):
+            return (
+                f"{src_pkg} must not import object-kernel internals "
+                f"({dst_module}); depend on the shared seams "
+                "(repro.core.semantics/interface/runtime) instead"
             )
         if dst_pkg is None or src_pkg == dst_pkg:
             return None

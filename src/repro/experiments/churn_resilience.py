@@ -34,6 +34,7 @@ def run(
     transactions: int = 200,
     seed: int = 2006,
     churn_rates: tuple[float, ...] = CHURN_RATES,
+    system: str = "hirep",
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="churn",
@@ -57,19 +58,19 @@ def run(
             if rate > 0
             else None
         )
-        system = build_system("hirep", cfg, churn=churn)
-        system.bootstrap()
-        system.reset_metrics()
-        system.run(transactions, requestor=0)
+        instance = build_system(system, cfg, churn=churn)
+        instance.bootstrap()
+        instance.reset_metrics()
+        instance.run(transactions, requestor=0)
         xs.append(rate)
-        mse_y.append(system.mse.tail_mse(transactions // 3))
+        mse_y.append(instance.mse.tail_mse(transactions // 3))
         answered_y.append(
-            float(np.mean([o.answered > 0 for o in system.outcomes]))
+            float(np.mean([o.answered > 0 for o in instance.outcomes]))
         )
         maintenance = (
-            system.counter.by_category.get(Category.AGENT_DISCOVERY, 0)
-            + system.counter.by_category.get(Category.AGENT_DISCOVERY_REPLY, 0)
-            + system.counter.by_category.get(Category.CONTROL, 0)
+            instance.counter.by_category.get(Category.AGENT_DISCOVERY, 0)
+            + instance.counter.by_category.get(Category.AGENT_DISCOVERY_REPLY, 0)
+            + instance.counter.by_category.get(Category.CONTROL, 0)
         )
         maintenance_y.append(maintenance / transactions)
     result.series.append(Series(name="tail_mse", x=xs, y=mse_y))

@@ -26,7 +26,10 @@ def run(
     network_size: int = 1000,
     transactions: int = 300,
     seed: int = 2006,
+    system: str = "hirep",
 ) -> ExperimentResult:
+    """``system`` names the registry backend for the hiREP curve
+    (``hirep`` or ``hirep-array``); the voting baselines are unaffected."""
     result = ExperimentResult(
         experiment_id="fig5",
         title="Trust query traffic cost of hiREP vs pure voting",
@@ -45,7 +48,7 @@ def run(
         )
 
     cfg = fig5_config(4.0, network_size=network_size, seed=seed)
-    hirep = build_system("hirep", cfg)
+    hirep = build_system(system, cfg)
     hirep.bootstrap()
     hirep.reset_metrics()
     hirep.run(transactions)

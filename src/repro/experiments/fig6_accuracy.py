@@ -26,6 +26,7 @@ def run(
     seed: int = 2006,
     window: int = 50,
     requestor: int = 0,
+    system: str = "hirep",
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig6",
@@ -45,7 +46,7 @@ def run(
 
     for theta in THRESHOLDS:
         cfg = fig6_config(theta, network_size=network_size, seed=seed)
-        hirep = build_system("hirep", cfg)
+        hirep = build_system(system, cfg)
         hirep.mse.window = window
         hirep.bootstrap()
         hirep.reset_metrics()

@@ -26,6 +26,7 @@ def run(
     network_size: int = 1000,
     transactions: int = 200,
     seed: int = 2006,
+    system: str = "hirep",
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig8",
@@ -43,7 +44,7 @@ def run(
 
     for relays in RELAY_COUNTS:
         cfg = fig8_config(relays, network_size=network_size, seed=seed)
-        hirep = build_system("hirep", cfg)
+        hirep = build_system(system, cfg)
         hirep.bootstrap()
         hirep.reset_metrics()
         hirep.run(transactions)

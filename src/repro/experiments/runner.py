@@ -22,6 +22,7 @@ sweep resumable with ``--resume``.  See ``docs/orchestration.md``.
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
 import time
@@ -155,6 +156,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"override the experiment seed (default: the archived runs' {DEFAULT_SEED})",
     )
     parser.add_argument(
+        "--system",
+        metavar="NAME",
+        default=None,
+        help="registry name of the hiREP execution backend (e.g. 'hirep-array' "
+        "for the vectorized kernel; see repro.core.registry).  Applied to "
+        "experiments whose run() accepts a 'system' parameter; others keep "
+        "their built-in backend and are noted on stderr",
+    )
+    parser.add_argument(
         "--replicate",
         type=int,
         metavar="N",
@@ -224,6 +234,14 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _accepts_system(module) -> bool:
+    """Whether the experiment's ``run()`` takes a ``system`` backend name."""
+    runner = getattr(module, "run", None)
+    if runner is None:
+        return False
+    return "system" in inspect.signature(runner).parameters
+
+
 def _render_ablations(result) -> str:
     lines = [f"== {result.experiment_id}: {result.title} =="]
     for series in result.series:
@@ -258,6 +276,7 @@ def main(argv: list[str] | None = None) -> int:
         args.replicate if args.replicate is not None else resumed.get("replicate")
     )
     jobs = args.jobs if args.jobs is not None else resumed.get("jobs") or 1
+    system_name = args.system or resumed.get("system")
     out_dir = args.out or resumed.get("out")
     cache_dir = args.cache_dir or resumed.get("cache_dir")
     telemetry_dir = args.telemetry or resumed.get("telemetry")
@@ -290,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=seed,
             replicate=replicate,
             jobs=jobs,
+            system=system_name,
             out=out_dir,
             cache_dir=str(cache.root) if cache is not None else None,
             telemetry=telemetry_dir,
@@ -298,11 +318,17 @@ def main(argv: list[str] | None = None) -> int:
 
     # -- plan: every experiment becomes one or many jobs -------------------
     plans: list[tuple[str, SweepPlan]] = []
+    kept_backend: list[str] = []
     for name in wanted:
         module, small_kwargs, paper_kwargs = EXPERIMENTS[name]
         kwargs = dict(small_kwargs if scale == "small" else paper_kwargs)
         if seed is not None and name != "table1":
             kwargs["seed"] = seed
+        if system_name is not None:
+            if _accepts_system(module):
+                kwargs["system"] = system_name
+            else:
+                kept_backend.append(name)
         if replicate and name != "table1":
             base_seed = seed if seed is not None else DEFAULT_SEED
             kwargs.pop("seed", None)
@@ -313,6 +339,12 @@ def main(argv: list[str] | None = None) -> int:
             plan = plan_for(name, module, kwargs)
         plans.append((name, plan))
     all_specs = [spec for _, plan in plans for spec in plan.specs]
+    if kept_backend:
+        print(
+            f"note: --system {system_name} not supported by "
+            f"{', '.join(kept_backend)}; those keep their built-in backend",
+            file=sys.stderr,
+        )
 
     # -- execute -----------------------------------------------------------
     progress = ProgressReporter()

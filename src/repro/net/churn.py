@@ -74,6 +74,17 @@ class ChurnModel:
             return
         extra = set(extra_protected)
         draws = rng.random(network.n)
+        bulk = getattr(network, "apply_churn", None)
+        if bulk is not None:
+            # Array-backed networks flip the whole liveness mask in one
+            # vectorized pass over the same draw vector — identical
+            # trajectories to the per-node loop below.
+            departures, rejoins = bulk(
+                draws, self.leave_prob, self.rejoin_prob, self.protected | extra
+            )
+            self.stats.departures += departures
+            self.stats.rejoins += rejoins
+            return
         for node in network.nodes:
             idx = node.node_index
             if idx in self.protected or idx in extra:

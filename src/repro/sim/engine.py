@@ -13,7 +13,7 @@ responsibility of the components that schedule events.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.errors import EventQueueEmpty, SimulationError
 from repro.sim.clock import SimClock
@@ -123,8 +123,54 @@ class SimEngine:
         finally:
             self._running = False
         if until is not None and until > self.now:
-            self.clock.advance_to(until)
+            # Only jump the clock when nothing remains due at or before
+            # ``until`` — a ``max_events`` break with pending events must
+            # leave the clock behind them so a follow-up run() (e.g. one
+            # drain() batch) can still execute them.
+            try:
+                next_time: float | None = self.queue.peek_time()
+            except EventQueueEmpty:
+                next_time = None
+            if next_time is None or next_time > until:
+                self.clock.advance_to(until)
         return executed
+
+    def drain(
+        self,
+        batch_size: int = 1024,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> Iterator[int]:
+        """Drain the queue in bounded batches, yielding each batch's size.
+
+        Equivalent to calling :meth:`run` repeatedly with
+        ``max_events=batch_size`` until the queue is empty (or ``until`` /
+        ``max_events`` is reached), but exposed as an iterator so callers
+        can interleave work between batches — flush metrics, report
+        progress, or hand control to an outer loop — without ever giving
+        up determinism: batch boundaries only partition the event
+        sequence, they never reorder it.
+
+        >>> engine = SimEngine()
+        >>> for t in range(10):
+        ...     _ = engine.schedule_in(float(t), lambda: None)
+        >>> [executed for executed in engine.drain(batch_size=4)]
+        [4, 4, 2]
+        """
+        if batch_size < 1:
+            raise SimulationError(f"batch_size must be >= 1, got {batch_size}")
+        remaining = max_events
+        while self.queue:
+            size = batch_size if remaining is None else min(batch_size, remaining)
+            if size == 0:
+                break
+            executed = self.run(until=until, max_events=size)
+            if executed == 0:
+                break
+            if remaining is not None:
+                remaining -= executed
+            yield executed
 
     def reset(self, start: float = 0.0) -> None:
         """Return the engine to a pristine state for a new run."""

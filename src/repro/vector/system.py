@@ -1,0 +1,810 @@
+"""The array kernel's system façade: hiREP over struct-of-arrays state.
+
+:class:`ArrayHiRepSystem` implements the same
+:class:`~repro.core.interface.ReputationSystem` surface as
+:class:`~repro.core.system.HiRepSystem`, but executes the protocol over
+:class:`~repro.vector.state.VectorTrustState` and
+:class:`~repro.vector.network.ArrayNetwork` instead of per-object peers
+and a discrete-event network.  It is registered as ``hirep-array``.
+
+Parity discipline — the whole design revolves around mirroring the object
+kernel's RNG stream usage **draw for draw**:
+
+* :class:`~repro.core.world.World` construction is shared, so topology,
+  bandwidths, truth and maliciousness are bit-identical.
+* Wiring draws follow ``build_wiring`` order exactly: the per-peer
+  streams are spawned first, then the poor-agent choice and per-agent
+  streams from ``rng_agents``.  The object kernel's key-generation draws
+  live on the isolated ``rng_keys`` stream, so skipping key material
+  entirely (this kernel signs nothing) perturbs no other stream.
+* Bootstrap/maintenance reuse :func:`~repro.core.discovery.discover_agent_lists`
+  and :func:`~repro.core.ranking.select_agents` **verbatim** via array-backed
+  callbacks, with the same per-peer generators.
+* Queries draw the same selection shuffle, per-request nonces, handshake
+  nonces and trust-model evaluations in the same stream order.
+
+Message exchange is replaced with closed-form hop accounting: within one
+transaction liveness is static in both kernels, so "how many hops did an
+onion send cost and did it arrive" is pure arithmetic over the liveness
+mask (see ``_count_onion_send``).  Response *times* are the one metric
+the array kernel only approximates (there is no event engine); they are
+excluded from parity and documented in ``docs/scaling.md``.
+
+Unsupported surfaces fail loudly with :class:`~repro.errors.ConfigError`:
+fault planes, dispatch tracers and the query-timeout/retry plane all
+require the object kernel's event engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import HiRepConfig
+from repro.core.discovery import discover_agent_lists
+from repro.core.interface import Outcome
+from repro.core.messages import AgentListEntry
+from repro.core.ranking import rank_within_list, select_agents
+from repro.core.runtime import TransactionRuntime
+from repro.core.semantics import (
+    TRUST_TRAFFIC_CATEGORIES,
+    aggregate_estimate,
+    confidence,
+    consistency_bit,
+    ewma_update,
+    selection_order,
+)
+from repro.core.trust_models import QualityDrivenModel, TrustModel
+from repro.core.world import World
+from repro.crypto.hashing import NodeID
+from repro.crypto.nonce import NonceRegistry
+from repro.errors import ConfigError, SimulationError
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.messages import Category, DEFAULT_MESSAGE_BYTES
+from repro.sim.rng import spawn
+from repro.vector.network import ArrayNetwork
+from repro.vector.state import VectorTrustState
+
+__all__ = ["ArrayHiRepSystem", "PathSnapshot"]
+
+#: A full anonymity-key handshake costs four wire messages (Fig. 3).
+_HANDSHAKE_MESSAGES = 4
+
+ModelFactory = Callable[[bool, np.random.Generator], TrustModel]
+
+
+def _nid(ip: int) -> NodeID:
+    """Synthetic nodeID for peer ``ip`` (bijective; no key material here)."""
+    return int(ip).to_bytes(20, "big")
+
+
+@dataclass(frozen=True)
+class PathSnapshot:
+    """A lightweight stand-in for an :class:`~repro.onion.onion.Onion`.
+
+    ``relays is None`` means "the owner's current path": while no node has
+    ever gone offline, every snapshot provably equals the owner's current
+    onion, so nothing needs storing (see VectorTrustState.materialize_paths).
+    """
+
+    host: int
+    relays: tuple[int, ...] | None = None
+
+
+@dataclass
+class _QueryResult:
+    estimate: float
+    rows: list[int]
+    hosts: list[int]
+    values: list[float]
+    response_time_ms: float
+    answered: int
+    asked: int
+
+
+def _mean_latency_ms(model: LatencyModel) -> float:
+    """Expected per-hop latency, used for the analytic response-time model."""
+    if isinstance(model, ConstantLatency):
+        return float(model.ms)
+    if isinstance(model, UniformLatency):
+        return (model.lo + model.hi) / 2.0
+    if isinstance(model, LogNormalLatency):
+        mean = float(np.exp(model.mu + model.sigma * model.sigma / 2.0))
+        return min(mean, float(model.cap_ms))
+    # Unknown model: estimate the mean from a fixed-seed probe stream
+    # (deterministic, and independent of every simulation stream).
+    probe = np.random.default_rng(0)
+    return float(np.mean([model.sample(probe) for _ in range(512)]))
+
+
+class ArrayHiRepSystem(TransactionRuntime):
+    """hiREP on the array kernel: one deployment, state as numpy arrays."""
+
+    def __init__(
+        self,
+        config: HiRepConfig | None = None,
+        *,
+        latency_model: LatencyModel | None = None,
+        churn=None,
+        model_factory: ModelFactory | None = None,
+        topology=None,
+        faults=None,
+        tracer=None,
+        bootstrap_mode: str = "protocol",
+    ) -> None:
+        """Build the substrate and per-agent models; no per-peer objects.
+
+        ``bootstrap_mode="protocol"`` runs the paper's token-based
+        discovery (parity with the object kernel); ``"seeded"`` fills
+        every list directly in O(n·C) vectorized work — for 100k+ sweeps
+        where protocol bootstrap, not steady state, would dominate.
+        """
+        config = config or HiRepConfig()
+        if faults is not None:
+            raise ConfigError(
+                "hirep-array does not support fault planes; use the object "
+                "kernel ('hirep') for fault-injection runs"
+            )
+        if tracer is not None:
+            raise ConfigError(
+                "hirep-array has no protocol dispatcher to trace; use 'hirep'"
+            )
+        if config.query_timeout_ms is not None:
+            raise ConfigError(
+                "hirep-array does not model query timeouts/retries; use 'hirep'"
+            )
+        if bootstrap_mode not in ("protocol", "seeded"):
+            raise ConfigError(f"unknown bootstrap_mode {bootstrap_mode!r}")
+        world = World.from_config(
+            config, latency_model, topology=topology, network_factory=ArrayNetwork
+        )
+        super().__init__(config, world)
+        self.churn = churn
+        self.bootstrap_mode = bootstrap_mode
+        self._bootstrapped = False
+
+        n = config.network_size
+        net: ArrayNetwork = self.network
+        # build_wiring draw order: per-peer streams first.  The object
+        # kernel then generates per-peer keys from rng_keys — an isolated
+        # stream this kernel simply never touches.
+        self._peer_rngs = spawn(world.rng_peers, n)
+        capable = net.agent_capable_nodes()
+        poor_count = int(round(config.poor_agent_fraction * len(capable)))
+        poor_set = set(
+            int(i)
+            for i in world.rng_agents.choice(
+                capable, size=min(poor_count, len(capable)), replace=False
+            )
+        )
+        agent_rngs = spawn(world.rng_agents, len(capable))
+        factory = model_factory or (
+            lambda good, rng: QualityDrivenModel(
+                good, config.good_rating, config.bad_rating
+            )
+        )
+        self._models: dict[int, TrustModel] = {}
+        self._agent_rng: dict[int, np.random.Generator] = {}
+        self.agent_quality: dict[int, bool] = {}
+        for agent_rng, ip in zip(agent_rngs, capable):
+            good = ip not in poor_set
+            self._models[ip] = factory(good, agent_rng)
+            self._agent_rng[ip] = agent_rng
+            self.agent_quality[ip] = good
+
+        max_relays = max(config.onion_relays, 0)
+        self.state = VectorTrustState(
+            n,
+            config.trusted_agents,
+            config.backup_cache_size,
+            max_relays,
+            initial_expertise=config.initial_expertise,
+        )
+        # Every peer's *own* onion (the one agents answer through).
+        self._own_path = np.full((n, max_relays), -1, dtype=np.int32)
+        self._own_plen = np.zeros(n, dtype=np.int32)
+        self._own_built = np.zeros(n, dtype=bool)
+        # Lazy per-host registries/caches (populated on first use so a
+        # 100k-node build does not allocate 100k empty objects up front).
+        self._nonce_reg: dict[int, NonceRegistry] = {}
+        self._responder_reg: dict[int, NonceRegistry] = {}
+        self._relay_keys: dict[int, set[int]] = {}
+        self._known: dict[int, set[int]] = {}
+
+        self._latency_mean = _mean_latency_ms(net.latency_model)
+        net.on_first_offline = self._materialize_paths
+
+        # Aggregate protocol stats (the object kernel keeps these per peer).
+        self.handshakes_performed = 0
+        self.keys_learned = 0
+        self.reports_accepted = 0
+        self.reports_rejected = 0
+        self.probe_messages = 0
+        self.queries_completed = 0
+
+    # ------------------------------------------------------------------
+    # Registries and onions
+    # ------------------------------------------------------------------
+
+    def _nonces(self, ip: int) -> NonceRegistry:
+        """Peer ``ip``'s own nonce registry (query + report nonces)."""
+        reg = self._nonce_reg.get(ip)
+        if reg is None:
+            reg = self._nonce_reg[ip] = NonceRegistry(self._peer_rngs[ip])
+        return reg
+
+    def _responder_nonces(self, ip: int) -> NonceRegistry:
+        """Relay ``ip``'s handshake-responder registry.
+
+        A separate registry that *shares* node ``ip``'s generator, exactly
+        like ``build_wiring`` hands the handshake responder
+        ``NonceRegistry(peer_rngs[ip])`` next to the peer's own registry.
+        """
+        reg = self._responder_reg.get(ip)
+        if reg is None:
+            reg = self._responder_reg[ip] = NonceRegistry(self._peer_rngs[ip])
+        return reg
+
+    def _materialize_paths(self) -> None:
+        self.state.materialize_paths(self._own_path, self._own_plen)
+
+    def _own_relays(self, host: int) -> np.ndarray:
+        return self._own_path[host, : int(self._own_plen[host])]
+
+    def _learn_relay_key(self, host: int, relay: int) -> None:
+        """Anonymity-key handshake with ``relay`` unless already cached."""
+        cache = self._relay_keys.setdefault(host, set())
+        if relay in cache:
+            return
+        # Four wire messages; the responder issues exactly one nonce from
+        # the relay's stream (mirrors onion.handshake.perform_handshake).
+        self._responder_nonces(relay).issue()
+        self.counter.count(Category.KEY_EXCHANGE, _HANDSHAKE_MESSAGES)
+        cache.add(relay)
+        self.handshakes_performed += 1
+
+    def _rebuild_onion(self, host: int) -> None:
+        online = self.network.online_indices()
+        pool = online[online != host]
+        n_relays = min(self.config.onion_relays, int(pool.size))
+        if n_relays > 0:
+            idx = self._peer_rngs[host].choice(
+                int(pool.size), size=n_relays, replace=False
+            )
+            relays = pool[idx]
+        else:
+            relays = pool[:0]
+        for relay in relays:
+            self._learn_relay_key(host, int(relay))
+        self._own_plen[host] = n_relays
+        if n_relays:
+            self._own_path[host, :n_relays] = relays
+        self._own_built[host] = True
+
+    def _ensure_onion(self, host: int) -> None:
+        """Build or reuse ``host``'s own onion (HiRepPeer.ensure_onion)."""
+        relays = self._own_relays(host)
+        if (
+            self._own_built[host]
+            and relays.size > 0
+            and bool(self.network.online_mask[relays].all())
+        ):
+            return
+        self._rebuild_onion(host)
+
+    def _fresh_onion(self, host: int) -> None:
+        """Reuse the current path with a fresh seq (HiRepPeer.fresh_onion).
+
+        Sequence numbers only exist to make receivers adopt the newest
+        onion; the host's path is authoritative here, so only the rebuild
+        condition matters.
+        """
+        relays = self._own_relays(host)
+        if (
+            not self._own_built[host]
+            or relays.size == 0
+            or not bool(self.network.online_mask[relays].all())
+        ):
+            self._ensure_onion(host)
+
+    def _entry_relays(self, p: int, row: int) -> list[int]:
+        """The onion snapshot stored in peer ``p``'s row (owner-current
+        until snapshots are materialized)."""
+        st = self.state
+        if st.paths_tracked:
+            assert st.live_path is not None and st.live_plen is not None
+            k = int(st.live_plen[p, row])
+            return [int(r) for r in st.live_path[p, row, :k]]
+        host = int(st.live_ip[p, row])
+        return [int(r) for r in self._own_relays(host)]
+
+    def _count_onion_send(self, relays: list[int], owner: int) -> tuple[int, bool]:
+        """Hop accounting for one onion send: (messages, delivered).
+
+        The wire walks the path entry-first (= reversed storage order);
+        each hop to an online node costs one message, the first offline
+        relay swallows the message, and delivery additionally requires the
+        owner to be online.  Liveness is static within a transaction, so
+        this matches the DES hop-by-hop bill exactly.
+        """
+        mask = self.network.online_mask
+        messages = 1
+        alive = True
+        for relay in reversed(relays):
+            if mask[relay]:
+                messages += 1
+            else:
+                alive = False
+                break
+        return messages, alive and bool(mask[owner])
+
+    # ------------------------------------------------------------------
+    # Discovery, bootstrap (§3.4.1) and maintenance (§3.4.3)
+    # ------------------------------------------------------------------
+
+    def _snapshot_for(self, p: int, row: int) -> PathSnapshot:
+        host = int(self.state.live_ip[p, row])
+        if self.state.paths_tracked:
+            return PathSnapshot(host, tuple(self._entry_relays(p, row)))
+        return PathSnapshot(host)
+
+    def _discovery_entries(self, node: int) -> tuple[AgentListEntry, ...] | None:
+        """Node ``node``'s trusted-agent list as discovery shares it."""
+        st = self.state
+        m = int(st.live_len[node])
+        if m == 0:
+            return None
+        return tuple(
+            AgentListEntry(
+                weight=float(st.live_val[node, row]),
+                agent_node_id=_nid(int(st.live_ip[node, row])),
+                agent_onion=self._snapshot_for(node, row),
+                agent_sp=int(st.live_ip[node, row]),
+                agent_ip=int(st.live_ip[node, row]),
+            )
+            for row in range(m)
+        )
+
+    def _self_entry(self, node: int) -> AgentListEntry | None:
+        """An agent's self-advertisement (MaintenanceService.self_entry_for)."""
+        if node not in self._models:
+            return None
+        self._ensure_onion(node)
+        if self.state.paths_tracked:
+            onion = PathSnapshot(node, tuple(int(r) for r in self._own_relays(node)))
+        else:
+            onion = PathSnapshot(node)
+        return AgentListEntry(
+            weight=self.config.initial_expertise,
+            agent_node_id=_nid(node),
+            agent_onion=onion,
+            agent_sp=node,
+            agent_ip=node,
+        )
+
+    def _adopt(self, p: int, selected: list[AgentListEntry]) -> int:
+        added = 0
+        own_id = _nid(p)
+        for entry in selected:
+            if entry.agent_node_id == own_id:
+                continue
+            host = int(entry.agent_ip)
+            snap = entry.agent_onion
+            relays = snap.relays if isinstance(snap, PathSnapshot) else None
+            if relays is None and self.state.paths_tracked:
+                relays = tuple(int(r) for r in self._own_relays(host))
+            if self.state.add(p, host, self.config.initial_expertise, relays):
+                added += 1
+        return added
+
+    def _discover_for(self, p: int, wanted: int) -> int:
+        """One discovery round for peer ``p`` (MaintenanceService.discover_for)."""
+        cfg = self.config
+        outcome = discover_agent_lists(
+            self.topology,
+            p,
+            cfg.tokens,
+            cfg.ttl,
+            rng=self._peer_rngs[p],
+            get_list=self._discovery_entries,
+            get_self_entry=self._self_entry,
+            online=self.network.is_online,
+        )
+        self.counter.count(Category.AGENT_DISCOVERY, outcome.request_messages)
+        self.counter.count(Category.AGENT_DISCOVERY_REPLY, outcome.reply_messages)
+        per_list_ranks = []
+        candidates: dict[NodeID, AgentListEntry] = {}
+        for reply in outcome.replies:
+            entries = list(reply.entries)
+            if reply.self_entry is not None:
+                entries.append(reply.self_entry)
+            per_list_ranks.append(rank_within_list(entries, wanted))
+            for entry in entries:
+                candidates.setdefault(entry.agent_node_id, entry)
+        if not candidates:
+            return 0
+        selected = select_agents(
+            list(candidates.values()), per_list_ranks, wanted, self._peer_rngs[p]
+        )
+        return self._adopt(p, selected)
+
+    def bootstrap(self, rounds: int = 2) -> None:
+        """Give every peer an initial trusted-agent list (§3.4.1)."""
+        if self._bootstrapped:
+            return
+        if self.bootstrap_mode == "seeded":
+            self._bootstrap_seeded()
+            self._bootstrapped = True
+            return
+        n = self.config.network_size
+        order = np.arange(n)
+        for _ in range(rounds):
+            self.world.rng_workload.shuffle(order)
+            for i in order:
+                p = int(i)
+                if not self.network.is_online(p):
+                    continue
+                wanted = self.state.capacity - int(self.state.live_len[p])
+                if wanted > 0:
+                    self._discover_for(p, wanted)
+        self._bootstrapped = True
+
+    def _bootstrap_seeded(self) -> None:
+        """O(n·C) direct seeding for 100k+ sweeps (documented non-parity).
+
+        Every peer adopts a contiguous window of the agent-capable
+        population starting at a random offset, and every peer gets a
+        relay path of distinct non-self nodes from a random stride — the
+        same *shape* of state protocol bootstrap produces, with no
+        discovery traffic and no per-token Python loop.  Draws come from
+        the workload stream; message counters stay untouched (experiments
+        reset counters after bootstrap anyway, §4.1).
+        """
+        cfg = self.config
+        n = cfg.network_size
+        st = self.state
+        rng = self.world.rng_workload
+        relays_wanted = min(cfg.onion_relays, max(n - 1, 0))
+        if relays_wanted > 0:
+            # offsets[j] distinct within a row and never ≡ 0 (mod n) → a
+            # path of distinct relays that never includes the host.
+            shifts = rng.integers(0, n - 1, size=n)
+            offsets = (shifts[:, None] + np.arange(relays_wanted)[None, :]) % (n - 1)
+            self._own_path[:, :relays_wanted] = (
+                np.arange(n)[:, None] + 1 + offsets
+            ) % n
+            self._own_plen[:] = relays_wanted
+        self._own_built[:] = True
+
+        capable = np.asarray(self.network.agent_capable_nodes(), dtype=np.int64)
+        count = int(capable.size)
+        if count == 0:
+            return
+        fill = min(st.capacity, count)
+        start = rng.integers(0, count, size=n)
+        window = (start[:, None] + np.arange(fill)[None, :]) % count
+        agents_mat = capable[window]  # (n, fill)
+        self_hit = agents_mat == np.arange(n)[:, None]
+        if count > fill:
+            # Substitute the next capable node beyond the window for any
+            # peer that landed on itself.
+            substitute = capable[(start + fill) % count]
+            agents_mat = np.where(self_hit, substitute[:, None], agents_mat)
+            st.live_ip[:, :fill] = agents_mat
+            st.live_val[:, :fill] = cfg.initial_expertise
+            st.live_upd[:, :fill] = 0
+            st.live_len[:] = fill
+        else:
+            # The window is the whole capable set: peers that appear in
+            # their own window just drop that one row (tiny populations).
+            st.live_ip[:, :fill] = agents_mat
+            st.live_val[:, :fill] = cfg.initial_expertise
+            st.live_upd[:, :fill] = 0
+            st.live_len[:] = fill
+            for p in np.flatnonzero(self_hit.any(axis=1)):
+                st._remove_live_row(int(p), st.row_of(int(p), int(p)))
+
+    def _maintain(self, p: int) -> None:
+        """§3.4.3 list maintenance: probe backups, rediscover if short."""
+        if int(self.state.live_len[p]) >= self.config.refill_threshold:
+            return
+        self._probe_backups(p)
+        if int(self.state.live_len[p]) < self.config.refill_threshold:
+            wanted = self.state.capacity - int(self.state.live_len[p])
+            self._discover_for(p, wanted)
+
+    def _probe_backups(self, p: int) -> int:
+        """Probe parked agents; restore the ones that answered."""
+        st = self.state
+        restored = 0
+        control = 0
+        for ip in st.backup_hosts(p):
+            control += 1  # probe out
+            self.probe_messages += 1
+            if self.network.online_mask[ip]:
+                control += 1  # probe reply
+                self.probe_messages += 1
+                if st.restore(p, ip):
+                    restored += 1
+            else:
+                st.drop_backup(p, ip)
+        if control:
+            self.counter.count(Category.CONTROL, control)
+        return restored
+
+    # ------------------------------------------------------------------
+    # Transactions (§3.6, §5.2)
+    # ------------------------------------------------------------------
+
+    def pick_pair(self, requestor: int | None = None) -> tuple[int, int]:
+        """Same draws as TransactionRuntime.pick_pair, over the mask."""
+        online = self.network.online_indices()
+        count = int(online.size)
+        if count < 2:
+            raise SimulationError(
+                f"need at least two online nodes, have {count}"
+            )
+        if requestor is None:
+            requestor = int(online[int(self.rng.integers(0, count))])
+        provider = requestor
+        while provider == requestor:
+            provider = int(online[int(self.rng.integers(0, count))])
+        return requestor, provider
+
+    def run_transaction(
+        self, requestor: int | None = None, provider: int | None = None
+    ) -> Outcome:
+        """Execute one full transaction cycle and record metrics."""
+        if not self._bootstrapped:
+            self.bootstrap()
+        if self.churn is not None:
+            protect = {requestor} if requestor is not None else set()
+            self.churn.step(self.network, self.rng, extra_protected=protect)
+        req, prov = self.pick_pair(requestor)
+        if provider is not None:
+            if not 0 <= provider < self.config.network_size:
+                raise SimulationError(f"provider {provider} does not exist")
+            if not self.network.is_online(provider):
+                raise SimulationError(f"provider {provider} is offline")
+            prov = provider
+
+        self._maintain(req)
+
+        trust_before = self._trust_traffic()
+        total_before = self.counter.total
+        result = self._execute_query(req, prov)
+
+        truth = float(self.truth[prov])
+        err = float(result.estimate) - truth
+        outcome = Outcome(
+            index=self.transactions_run,
+            requestor=req,
+            provider=prov,
+            estimate=result.estimate,
+            truth=truth,
+            squared_error=err * err,
+            response_time_ms=result.response_time_ms,
+            trust_messages=self._trust_traffic() - trust_before,
+            total_messages=self.counter.total - total_before,
+            answered=result.answered,
+            asked=result.asked,
+        )
+        return self._record(outcome)
+
+    def _execute_query(self, req: int, prov: int) -> _QueryResult:
+        """One trust query + settlement (QueryService.execute, closed form)."""
+        cfg = self.config
+        st = self.state
+        m = int(st.live_len[req])
+        if m == 0:
+            # No trusted agents: blind prior, no settlement.
+            return _QueryResult(0.5, [], [], [], float("nan"), 0, 0)
+        order = selection_order(
+            st.live_val[req, :m], st.live_upd[req, :m], self._peer_rngs[req]
+        )
+        selected = [int(r) for r in order[: cfg.agents_queried]]
+        self._ensure_onion(req)
+        nonces = self._nonces(req)
+        subject = _nid(prov)
+        truth = float(self.truth[prov])
+
+        # Request leg: one nonce per consulted agent, hop-counted delivery
+        # through the stored (possibly stale) agent-entry onion.  While
+        # every node is online the accounting collapses: nothing has ever
+        # been rebuilt, every entry onion is the owner's current path,
+        # every hop is alive, so a send costs plen+1 and always arrives.
+        fast = not self.network.any_offline and not st.paths_tracked
+        request_messages = 0
+        delivered: list[tuple[int, int, int]] = []  # (row, host, entry hops)
+        if fast:
+            sel_hosts = st.live_ip[req, np.asarray(selected, dtype=np.int64)]
+            sel_plens = self._own_plen[sel_hosts]
+            for _ in selected:
+                nonces.issue()
+            request_messages = int((sel_plens + 1).sum())
+            delivered = [
+                (row, host, plen + 1)
+                for row, host, plen in zip(
+                    selected, sel_hosts.tolist(), sel_plens.tolist()
+                )
+            ]
+        else:
+            for row in selected:
+                nonces.issue()
+                host = int(st.live_ip[req, row])
+                relays = self._entry_relays(req, row)
+                messages, arrived = self._count_onion_send(relays, host)
+                request_messages += messages
+                if arrived:
+                    delivered.append((row, host, len(relays) + 1))
+        self.counter.count(Category.TRUST_QUERY, request_messages)
+        asked = len(selected)
+
+        # Response leg: each reached agent freshens its own onion, learns
+        # the requestor if unknown, evaluates, and answers through the
+        # requestor's onion (whose relays were all alive at ensure time,
+        # and liveness is static within the transaction → always arrives).
+        response_messages = 0
+        rows: list[int] = []
+        hosts: list[int] = []
+        values: list[float] = []
+        request_hops: list[int] = []
+        own_hops = int(self._own_plen[req]) + 1
+        for row, host, hops in delivered:
+            if fast:
+                # All relays alive and the path already built: fresh_onion
+                # is a pure seq bump, no draws, no state change.
+                if not self._own_built[host]:
+                    self._ensure_onion(host)
+            else:
+                self._fresh_onion(host)
+            known = self._known.setdefault(host, set())
+            if req not in known:
+                known.add(req)
+                self.keys_learned += 1
+            value = float(self._models[host].evaluate(subject, truth, self._agent_rng[host]))
+            response_messages += own_hops
+            if st.paths_tracked:
+                # The response carries the agent's fresh onion; the
+                # requestor adopts it for the row (refresh_onion).
+                assert st.live_path is not None and st.live_plen is not None
+                plen = int(self._own_plen[host])
+                st.live_plen[req, row] = plen
+                st.live_path[req, row, :] = -1
+                if plen:
+                    st.live_path[req, row, :plen] = self._own_path[host, :plen]
+            rows.append(row)
+            hosts.append(host)
+            values.append(value)
+            request_hops.append(hops)
+        if response_messages:
+            self.counter.count(Category.TRUST_RESPONSE, response_messages)
+
+        weights = [
+            float(st.live_val[req, row]) * confidence(int(st.live_upd[req, row]))
+            for row in rows
+        ]
+        estimate = aggregate_estimate(values, weights)
+        self.queries_completed += 1
+
+        if rows:
+            # Analytic stand-in for the DES clock: slowest request hop
+            # chain plus the response chain, at mean per-hop latency, plus
+            # FIFO serialization of the answers on the requestor's link.
+            hops = max(request_hops) + own_hops
+            response_time = hops * self._latency_mean
+            if self.network.model_transmission:
+                response_time += len(rows) * ArrayNetwork.transmission_ms(
+                    float(self.network.bandwidth[req]), DEFAULT_MESSAGE_BYTES
+                )
+        else:
+            response_time = float("nan")
+
+        self._settle(req, rows, values, hosts, truth, subject)
+        return _QueryResult(
+            estimate, rows, hosts, values, response_time, len(rows), asked
+        )
+
+    def _settle(
+        self,
+        req: int,
+        rows: list[int],
+        values: list[float],
+        hosts: list[int],
+        truth: float,
+        subject: NodeID,
+    ) -> None:
+        """Expertise updates, eviction, parking, reports (settle_transaction)."""
+        st = self.state
+        cfg = self.config
+        # 1. vectorized expertise EWMA over the answering rows
+        if rows:
+            idx = np.asarray(rows, dtype=np.int64)
+            bits = np.array(
+                [consistency_bit(v, truth) for v in values], dtype=np.float64
+            )
+            st.live_val[req, idx] = ewma_update(
+                cfg.expertise_alpha, st.live_val[req, idx], bits
+            )
+            st.live_upd[req, idx] += 1
+        # 2. hirep-θ eviction
+        st.evict_below(req, cfg.eviction_threshold)
+        # 3. park agents that went offline (positive expertise → backup)
+        if self.network.any_offline:
+            mask = self.network.online_mask
+            for ip in st.live_hosts(req):
+                if not mask[ip]:
+                    st.park(req, ip)
+        # 4. signed transaction reports through each surviving agent's onion
+        answered = set(hosts)
+        report_all = cfg.report_scope == "all"
+        nonces = self._nonces(req)
+        report_messages = 0
+        m = int(st.live_len[req])
+        fast = not self.network.any_offline and not st.paths_tracked
+        live = st.live_ip[req, :m].tolist()
+        if fast:
+            plens = self._own_plen[st.live_ip[req, :m]].tolist()
+        for row, host in enumerate(live):
+            if not report_all and host not in answered:
+                continue
+            nonces.issue()
+            if fast:
+                report_messages += plens[row] + 1
+                arrived = True
+            else:
+                relays = self._entry_relays(req, row)
+                messages, arrived = self._count_onion_send(relays, host)
+                report_messages += messages
+            if arrived:
+                # Spoofing defence: an agent only accepts reports from
+                # requestors whose key it learned during a trust request.
+                if req in self._known.get(host, ()):
+                    self._models[host].observe_report(subject, truth)
+                    self.reports_accepted += 1
+                else:
+                    self.reports_rejected += 1
+        if report_messages:
+            self.counter.count(Category.TRANSACTION_REPORT, report_messages)
+
+    # ------------------------------------------------------------------
+    # Helpers (HiRepSystem-compatible surface)
+    # ------------------------------------------------------------------
+
+    def truth_key(self, ip: int) -> NodeID:
+        """The nodeID trust queries about peer ``ip`` are keyed by."""
+        return _nid(ip)
+
+    def _trust_traffic(self) -> int:
+        return sum(
+            self.counter.by_category.get(cat, 0)
+            for cat in TRUST_TRAFFIC_CATEGORIES
+        )
+
+    def retry_stats(self) -> dict[str, int]:
+        """Timeout/retry accounting — structurally zero (no timeout plane)."""
+        return {
+            "retries_sent": 0,
+            "queries_timed_out": 0,
+            "unresponsive_parked": 0,
+            "circuits_rebuilt": 0,
+        }
+
+    def good_agent_ips(self) -> list[int]:
+        return [ip for ip, good in self.agent_quality.items() if good]
+
+    def poor_agent_ips(self) -> list[int]:
+        return [ip for ip, good in self.agent_quality.items() if not good]
+
+    def state_nbytes(self) -> int:
+        """Resident bytes of the trust-state arrays (docs/benchmarks)."""
+        return self.state.nbytes() + int(
+            self._own_path.nbytes + self._own_plen.nbytes + self._own_built.nbytes
+        )

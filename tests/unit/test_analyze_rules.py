@@ -370,3 +370,32 @@ def test_all_rules_run_together_and_sort_stably(tmp_path):
     second = analyze(tmp_path, files)
     assert [f.fingerprint for f in first] == [f.fingerprint for f in second]
     assert set(codes(first)) == {"TNT001", "TNT002", "LAY001"}
+
+
+def test_lay001_vector_must_not_import_object_kernel_internals(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.vector.system": "from repro.core.peer import HiRepPeer\n",
+            "repro.core.peer": "class HiRepPeer:\n    pass\n",
+        },
+        ["LAY001"],
+    )
+    assert codes(findings) == ["LAY001"]
+    assert "object-kernel internals" in findings[0].message
+
+
+def test_lay001_vector_may_import_shared_seams(tmp_path):
+    findings = analyze(
+        tmp_path,
+        {
+            "repro.vector.system": (
+                "from repro.core.semantics import ewma_update\n"
+                "from repro.core.config import HiRepConfig\n"
+            ),
+            "repro.core.semantics": "def ewma_update():\n    pass\n",
+            "repro.core.config": "class HiRepConfig:\n    pass\n",
+        },
+        ["LAY001"],
+    )
+    assert findings == []

@@ -1,0 +1,88 @@
+"""The shared semantics seam: scalar and vectorized forms must agree.
+
+These are the proof obligations written into :mod:`repro.core.semantics`'s
+docstring — the parity suite depends on each scalar/vector pair being
+bit-equal, so each pair gets a direct test here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.semantics import (
+    aggregate_estimate,
+    confidence,
+    confidence_array,
+    consistency_bit,
+    consistent,
+    eviction_mask,
+    ewma_step,
+    ewma_update,
+    selection_order,
+)
+
+
+def test_consistency_splits_at_half():
+    assert consistent(0.9, 0.7) and consistent(0.1, 0.3)
+    assert not consistent(0.9, 0.3)
+    assert consistent(0.5, 0.5)  # both count as "good" side
+    assert consistency_bit(0.9, 0.7) == 1.0
+    assert consistency_bit(0.9, 0.3) == 0.0
+
+
+def test_ewma_vector_is_bit_equal_to_scalar():
+    rng = np.random.default_rng(3)
+    values = rng.random(257)
+    bits = (rng.random(257) < 0.5).astype(np.float64)
+    for alpha in (0.1, 0.5, 0.73):
+        vec = ewma_update(alpha, values, bits)
+        scalar = np.array(
+            [ewma_step(alpha, v, b) for v, b in zip(values, bits)]
+        )
+        assert (vec == scalar).all()  # bit equality, not approx
+
+
+def test_confidence_vector_matches_scalar():
+    updates = np.arange(0, 50, dtype=np.int32)
+    vec = confidence_array(updates)
+    assert vec[0] == 0.0
+    assert (vec == np.array([confidence(int(u)) for u in updates])).all()
+    assert (vec < 1.0).all()
+
+
+def test_selection_order_is_a_permutation_with_stable_ties():
+    values = np.array([0.5, 0.9, 0.5, 0.9, 0.1])
+    updates = np.array([3, 1, 3, 2, 9])
+    order = selection_order(values, updates, np.random.default_rng(0))
+    assert sorted(order.tolist()) == [0, 1, 2, 3, 4]
+    # Primary key: value desc.  (3 before 1: equal values, more updates.)
+    assert [int(i) for i in order[:2]] == [3, 1]
+    assert int(order[-1]) == 4
+    # Exact ties (0 vs 2) are broken by the shuffle: both orders occur.
+    seen = {
+        tuple(selection_order(values, updates, np.random.default_rng(s))[2:4])
+        for s in range(20)
+    }
+    assert seen == {(0, 2), (2, 0)}
+
+
+def test_selection_order_empty():
+    out = selection_order(np.empty(0), np.empty(0), np.random.default_rng(0))
+    assert out.size == 0
+
+
+def test_aggregate_estimate_weighted_mean_and_fallbacks():
+    assert aggregate_estimate([1.0, 0.0], [1.0, 1.0]) == pytest.approx(0.5)
+    assert aggregate_estimate([1.0, 0.0], [3.0, 1.0]) == pytest.approx(0.75)
+    # Zero-weight entries contribute exactly nothing.
+    assert aggregate_estimate([1.0, 0.123], [2.0, 0.0]) == 1.0
+    # No weight at all: unweighted mean (all-fresh lists, confidence 0).
+    assert aggregate_estimate([0.2, 0.4], [0.0, 0.0]) == pytest.approx(0.3)
+    # No responses: neutral prior.
+    assert aggregate_estimate([], []) == 0.5
+
+
+def test_eviction_mask_is_strict():
+    values = np.array([0.39, 0.4, 0.41])
+    assert eviction_mask(values, 0.4).tolist() == [True, False, False]

@@ -127,3 +127,30 @@ def test_reentrant_run_rejected():
     engine.schedule(1.0, nested)
     engine.run()
     assert len(errors) == 1
+
+
+def test_drain_partitions_without_reordering():
+    engine = SimEngine()
+    fired = []
+    for i in range(10):
+        engine.schedule(float(i), lambda i=i: fired.append(i))
+    batches = list(engine.drain(batch_size=4))
+    assert batches == [4, 4, 2]
+    assert fired == list(range(10))
+
+
+def test_drain_respects_until_and_max_events():
+    engine = SimEngine()
+    for i in range(10):
+        engine.schedule(float(i), lambda: None)
+    assert list(engine.drain(batch_size=3, until=4.0)) == [3, 2]
+    engine.reset()
+    for i in range(10):
+        engine.schedule(float(i), lambda: None)
+    assert list(engine.drain(batch_size=4, max_events=6)) == [4, 2]
+
+
+def test_drain_rejects_bad_batch_size():
+    engine = SimEngine()
+    with pytest.raises(SimulationError):
+        next(engine.drain(batch_size=0))
