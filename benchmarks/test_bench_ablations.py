@@ -3,9 +3,14 @@
 from repro.experiments import ablations
 
 
-def test_bench_ablations(benchmark, run_once, scale):
+def test_bench_ablations(benchmark, run_once, scale, perf):
     result = run_once(ablations.run, **scale["ablations"])
     assert all("HOLDS" in n for n in result.notes), result.notes
+    perf.record(
+        "ablations",
+        {name: result.scalars[name] for name in result.scalars},
+        network_size=scale["ablations"]["network_size"],
+    )
     print()
     for series in result.series:
         pairs = ", ".join(f"{x:g}->{y:.4g}" for x, y in zip(series.x, series.y))

@@ -8,8 +8,6 @@ The engine's promise is that campaigns are a *thin* declarative layer over
 the orchestrator; this benchmark keeps that claim measured.
 """
 
-import time
-
 from repro.campaigns.report import run_campaign
 from repro.campaigns.specs import (
     AttackSpec,
@@ -18,6 +16,7 @@ from repro.campaigns.specs import (
     WorkloadSpec,
 )
 from repro.exec import SweepScheduler
+from repro.obs.clock import WallClock
 
 _WORKLOAD = WorkloadSpec(network_size=60, transactions=20)
 
@@ -43,15 +42,15 @@ def bench_campaign() -> Campaign:
     )
 
 
-def test_bench_campaign_overhead(benchmark, run_once):
+def test_bench_campaign_overhead(benchmark, run_once, perf):
     campaign = bench_campaign()
     specs = campaign.compile()
     cells = len(specs)
     assert cells == 6
 
-    raw_start = time.perf_counter()
+    raw_clock = WallClock()
     raw_outcomes = SweepScheduler(jobs=1).run(specs)
-    raw_s = time.perf_counter() - raw_start
+    raw_s = raw_clock.now / 1000.0
     assert all(o.ok for o in raw_outcomes)
 
     report, outcomes = run_once(lambda: run_campaign(campaign))
@@ -65,6 +64,17 @@ def test_bench_campaign_overhead(benchmark, run_once):
     benchmark.extra_info["campaign_cells_per_s"] = round(cells / campaign_s, 2)
     benchmark.extra_info["dsl_overhead_s"] = round(overhead_s, 3)
     benchmark.extra_info["dsl_overhead_pct"] = round(100.0 * overhead_s / raw_s, 1)
+    perf.record(
+        "campaigns",
+        {
+            "raw_cells_per_sec": cells / raw_s,
+            "campaign_cells_per_sec": cells / campaign_s,
+            "dsl_overhead_s": overhead_s,
+        },
+        network_size=_WORKLOAD.network_size,
+        transactions=_WORKLOAD.transactions,
+        cells=cells,
+    )
     print()
     print(
         f"{cells} cells: raw exec {cells / raw_s:.2f} cells/s, "

@@ -3,7 +3,7 @@
 from repro.experiments import churn_resilience
 
 
-def test_bench_churn(benchmark, run_once):
+def test_bench_churn(benchmark, run_once, perf):
     result = run_once(
         churn_resilience.run, network_size=150, transactions=100
     )
@@ -11,6 +11,15 @@ def test_bench_churn(benchmark, run_once):
         "answered_fraction"
     ).final()
     benchmark.extra_info["mse_at_max_churn"] = result.get("tail_mse").final()
+    perf.record(
+        "churn",
+        {
+            "answered_at_max_churn": result.get("answered_fraction").final(),
+            "mse_at_max_churn": result.get("tail_mse").final(),
+        },
+        network_size=150,
+        transactions=100,
+    )
     assert all("HOLDS" in n for n in result.notes), result.notes
     print()
     print(result.render())

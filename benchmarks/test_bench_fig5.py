@@ -3,10 +3,18 @@
 from repro.experiments import fig5_traffic
 
 
-def test_bench_fig5(benchmark, run_once, scale):
+def test_bench_fig5(benchmark, run_once, scale, perf):
     result = run_once(fig5_traffic.run, **scale["fig5"])
     benchmark.extra_info["hirep_over_voting2"] = result.scalars["hirep_over_voting2"]
     benchmark.extra_info["hirep_msgs_per_tx"] = result.scalars["hirep_msgs_per_tx"]
+    perf.record(
+        "fig5",
+        {
+            "hirep_over_voting2": result.scalars["hirep_over_voting2"],
+            "hirep_msgs_per_tx": result.scalars["hirep_msgs_per_tx"],
+        },
+        **{k: scale["fig5"][k] for k in ("network_size", "transactions")},
+    )
     # Paper shape: voting grows with degree; hiREP < 1/2 voting-2.
     assert result.get("voting-2").final() < result.get("voting-3").final()
     assert result.get("voting-3").final() < result.get("voting-4").final()

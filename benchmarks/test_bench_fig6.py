@@ -3,13 +3,18 @@
 from repro.experiments import fig6_accuracy
 
 
-def test_bench_fig6(benchmark, run_once, scale):
+def test_bench_fig6(benchmark, run_once, scale, perf):
     result = run_once(fig6_accuracy.run, **scale["fig6"])
     for theta in (4, 6, 8):
         benchmark.extra_info[f"hirep-{theta}_tail_mse"] = result.scalars[
             f"hirep-{theta}_tail_mse"
         ]
     benchmark.extra_info["voting_tail_mse"] = result.scalars["voting_tail_mse"]
+    perf.record(
+        "fig6",
+        {name: result.scalars[name] for name in result.scalars},
+        **{k: scale["fig6"][k] for k in ("network_size", "transactions")},
+    )
     # Paper shape: trained hiREP below voting at every threshold.
     for theta in (4, 6, 8):
         assert result.scalars[f"hirep-{theta}_tail_mse"] < result.scalars["voting_tail_mse"]

@@ -3,9 +3,14 @@
 from repro.experiments import fig7_malicious
 
 
-def test_bench_fig7(benchmark, run_once, scale):
+def test_bench_fig7(benchmark, run_once, scale, perf):
     result = run_once(fig7_malicious.run, **scale["fig7"])
     benchmark.extra_info["hirep_mse_at_90"] = result.scalars["hirep_mse_at_90"]
+    perf.record(
+        "fig7",
+        {"hirep_mse_at_90": result.scalars["hirep_mse_at_90"]},
+        network_size=scale["fig7"]["network_size"],
+    )
     # Paper shape: hiREP under 0.25 even at 90% attackers; voting degrades
     # far faster than hiREP.
     assert result.scalars["hirep_mse_at_90"] < 0.25

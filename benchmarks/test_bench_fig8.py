@@ -3,10 +3,15 @@
 from repro.experiments import fig8_response
 
 
-def test_bench_fig8(benchmark, run_once, scale):
+def test_bench_fig8(benchmark, run_once, scale, perf):
     result = run_once(fig8_response.run, **scale["fig8"])
     for name in ("voting_mean_ms", "hirep-5_mean_ms", "hirep-7_mean_ms", "hirep-10_mean_ms"):
         benchmark.extra_info[name] = result.scalars[name]
+    perf.record(
+        "fig8",
+        {name: result.scalars[name] for name in result.scalars},
+        **{k: scale["fig8"][k] for k in ("network_size", "transactions")},
+    )
     # Paper shape: fewer relays -> faster; every hiREP variant beats voting.
     assert (
         result.scalars["hirep-5_mean_ms"]

@@ -10,27 +10,26 @@ docs quote.
 
 from __future__ import annotations
 
-import time
-
 from repro import build_system
+from repro.obs.clock import WallClock
 from repro.workloads.scenarios import default_config
 
 
 def _measure(backend: str, network_size: int, transactions: int, **opts) -> dict:
     cfg = default_config(network_size=network_size, seed=2006)
-    t0 = time.perf_counter()
+    clock = WallClock()
     system = build_system(backend, cfg, **opts)
-    build_s = time.perf_counter() - t0
+    build_s = clock.now / 1000.0
 
-    t0 = time.perf_counter()
+    clock.reset()
     system.bootstrap()
-    bootstrap_s = time.perf_counter() - t0
+    bootstrap_s = clock.now / 1000.0
 
     system.reset_metrics()
     msgs_before = system.counter.total
-    t0 = time.perf_counter()
+    clock.reset()
     system.run(transactions)
-    run_s = time.perf_counter() - t0
+    run_s = clock.now / 1000.0
 
     row = {
         "backend": backend,

@@ -16,7 +16,7 @@ from repro.net.topology import power_law_topology
 from repro.sim.engine import SimEngine
 
 
-def test_bench_engine_event_throughput(benchmark):
+def test_bench_engine_event_throughput(benchmark, perf):
     def run_10k_events():
         engine = SimEngine()
         remaining = [10_000]
@@ -32,6 +32,11 @@ def test_bench_engine_event_throughput(benchmark):
 
     events = benchmark(run_10k_events)
     assert events == 10_000
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        perf.record(
+            "micro-engine",
+            {"events_per_sec": events / benchmark.stats.stats.mean},
+        )
 
 
 def test_bench_flood_1000_nodes(benchmark):
@@ -64,7 +69,7 @@ def test_bench_rsa_sign_verify(benchmark):
     assert benchmark(sign_verify)
 
 
-def test_bench_hirep_transaction(benchmark):
+def test_bench_hirep_transaction(benchmark, perf):
     cfg = HiRepConfig(
         network_size=200,
         trusted_agents=20,
@@ -81,3 +86,9 @@ def test_bench_hirep_transaction(benchmark):
         lambda: system.run_transaction(requestor=0), rounds=20, iterations=1
     )
     assert out.trust_messages > 0
+    if benchmark.stats is not None:
+        perf.record(
+            "micro-transaction",
+            {"tx_per_sec": 1.0 / benchmark.stats.stats.mean},
+            network_size=200,
+        )

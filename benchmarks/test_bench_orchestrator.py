@@ -7,10 +7,9 @@ on the current hardware.  On a single-core runner the speedup hovers
 around 1x — the number is recorded, not asserted.
 """
 
-import time
-
 from repro.exec import SweepScheduler, plan_for
 from repro.experiments import degradation
+from repro.obs.clock import WallClock
 
 SWEEP = {
     "network_size": 100,
@@ -20,13 +19,13 @@ SWEEP = {
 }
 
 
-def test_bench_orchestrator(benchmark, run_once):
+def test_bench_orchestrator(benchmark, run_once, perf):
     plan = plan_for("degradation", degradation, SWEEP)
     assert len(plan.specs) == 6
 
-    serial_start = time.perf_counter()
+    serial_clock = WallClock()
     serial_outcomes = SweepScheduler(jobs=1).run(plan.specs)
-    serial_s = time.perf_counter() - serial_start
+    serial_s = serial_clock.now / 1000.0
 
     pooled_outcomes = run_once(lambda: SweepScheduler(jobs=4).run(plan.specs))
     pooled_s = benchmark.stats.stats.mean
@@ -41,6 +40,17 @@ def test_bench_orchestrator(benchmark, run_once):
     benchmark.extra_info["serial_s"] = round(serial_s, 3)
     benchmark.extra_info["jobs4_s"] = round(pooled_s, 3)
     benchmark.extra_info["speedup"] = round(serial_s / pooled_s, 2)
+    perf.record(
+        "orchestrator",
+        {
+            "serial_s": serial_s,
+            "jobs4_s": pooled_s,
+            "pool_speedup": serial_s / pooled_s,
+        },
+        network_size=SWEEP["network_size"],
+        transactions=SWEEP["transactions"],
+        jobs=4,
+    )
     print()
     print(
         f"6-job sweep: serial {serial_s:.2f}s, --jobs 4 {pooled_s:.2f}s "

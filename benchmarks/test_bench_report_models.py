@@ -3,7 +3,7 @@
 from repro.experiments import report_models
 
 
-def test_bench_report_models(benchmark, run_once):
+def test_bench_report_models(benchmark, run_once, perf):
     result = run_once(
         report_models.run, network_size=150, transactions=200, providers=8
     )
@@ -11,6 +11,15 @@ def test_bench_report_models(benchmark, run_once):
         "report-average_tail_mse"
     ]
     benchmark.extra_info["oracle_tail"] = result.scalars["oracle_tail_mse"]
+    perf.record(
+        "report-models",
+        {
+            "report_average_tail_mse": result.scalars["report-average_tail_mse"],
+            "oracle_tail_mse": result.scalars["oracle_tail_mse"],
+        },
+        network_size=150,
+        transactions=200,
+    )
     assert all("HOLDS" in n for n in result.notes), result.notes
     print()
     print(result.render())

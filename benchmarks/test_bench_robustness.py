@@ -3,11 +3,16 @@
 from repro.experiments import robustness
 
 
-def test_bench_robustness(benchmark, run_once, scale):
+def test_bench_robustness(benchmark, run_once, scale, perf):
     result = run_once(robustness.run, **scale["robustness"])
     benchmark.extra_info["spoofing_rejection_rate"] = result.scalars[
         "spoofing_rejection_rate"
     ]
+    perf.record(
+        "robustness",
+        {name: result.scalars[name] for name in result.scalars},
+        network_size=scale["robustness"]["network_size"],
+    )
     assert result.scalars["spoofing_rejection_rate"] == 1.0
     assert all("HOLDS" in n for n in result.notes), result.notes
     print()

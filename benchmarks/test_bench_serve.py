@@ -17,7 +17,7 @@ _CFG = dict(network_size=32, seed=11)
 _TXNS = 10
 
 
-def test_bench_serve_serialized(benchmark):
+def test_bench_serve_serialized(benchmark, perf):
     def serialized():
         with ServeSystem(HiRepConfig(**_CFG)) as system:
             for _ in range(_TXNS):
@@ -25,9 +25,16 @@ def test_bench_serve_serialized(benchmark):
             return system.transactions_run
 
     assert benchmark(serialized) == _TXNS
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        perf.record(
+            "serve-serialized",
+            {"tx_per_sec": _TXNS / benchmark.stats.stats.mean},
+            network_size=_CFG["network_size"],
+            transactions=_TXNS,
+        )
 
 
-def test_bench_serve_concurrent_load(benchmark):
+def test_bench_serve_concurrent_load(benchmark, perf):
     def loaded():
         with ServeSystem(HiRepConfig(**_CFG)) as system:
             trace = build_trace(
@@ -38,9 +45,17 @@ def test_bench_serve_concurrent_load(benchmark):
             return report.completed
 
     assert benchmark(loaded) == _TXNS
+    if benchmark.stats is not None:
+        perf.record(
+            "serve-load",
+            {"tx_per_sec": _TXNS / benchmark.stats.stats.mean},
+            network_size=_CFG["network_size"],
+            transactions=_TXNS,
+            concurrency=4,
+        )
 
 
-def test_bench_codec_encode_decode(benchmark):
+def test_bench_codec_encode_decode(benchmark, perf):
     """The codec alone: one query's worth of request framing per call."""
     from repro.core.messages import TrustRequestBody, TrustValueRequest
     from repro.core.wire import decode, encode
@@ -70,3 +85,8 @@ def test_bench_codec_encode_decode(benchmark):
         return decode(encode(request))
 
     assert benchmark(round_trip) == request
+    if benchmark.stats is not None:
+        perf.record(
+            "serve-codec",
+            {"roundtrips_per_sec": 1.0 / benchmark.stats.stats.mean},
+        )

@@ -3,9 +3,10 @@
 from repro.experiments import table1_params
 
 
-def test_bench_table1(benchmark, run_once):
+def test_bench_table1(benchmark, run_once, perf):
     result = run_once(table1_params.run)
     benchmark.extra_info["rows"] = result.scalars["rows"]
+    perf.record("table1", {"rows": result.scalars["rows"]})
     assert result.scalars["rows"] == 9
     assert not any("drift" in n for n in result.notes)
     print()

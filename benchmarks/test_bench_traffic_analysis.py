@@ -3,12 +3,21 @@
 from repro.experiments import traffic_analysis
 
 
-def test_bench_traffic_analysis(benchmark, run_once):
+def test_bench_traffic_analysis(benchmark, run_once, perf):
     result = run_once(
         traffic_analysis.run, network_size=200, transactions=100
     )
     benchmark.extra_info["precision_no_onion"] = result.scalars["precision_no_onion"]
     benchmark.extra_info["precision_full_onion"] = result.scalars["precision_full_onion"]
+    perf.record(
+        "traffic-analysis",
+        {
+            "precision_no_onion": result.scalars["precision_no_onion"],
+            "precision_full_onion": result.scalars["precision_full_onion"],
+        },
+        network_size=200,
+        transactions=100,
+    )
     assert all("HOLDS" in n for n in result.notes), result.notes
     print()
     print(result.render())

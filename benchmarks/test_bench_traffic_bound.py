@@ -3,8 +3,13 @@
 from repro.experiments import traffic_bound
 
 
-def test_bench_traffic_bound(benchmark, run_once, scale):
+def test_bench_traffic_bound(benchmark, run_once, scale, perf):
     result = run_once(traffic_bound.run, **scale["traffic_bound"])
     assert all("HOLDS" in n for n in result.notes), result.notes
+    perf.record(
+        "traffic-bound",
+        {name: result.scalars[name] for name in result.scalars},
+        **{k: scale["traffic_bound"][k] for k in ("network_size", "transactions")},
+    )
     print()
     print(result.render())

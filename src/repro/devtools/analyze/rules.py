@@ -451,6 +451,7 @@ LAYERS: dict[str, int] = {
     "repro.analysis": 2,
     "repro.onion": 3,
     "repro.filesharing": 3,
+    "repro.perf": 3,
     "repro.core": 4,
     "repro.baselines": 5,
     "repro.vector": 5,

@@ -1,4 +1,4 @@
-"""OBS001: library code reports through telemetry, not ``print()``.
+"""OBS001/OBS002: report through the telemetry plane, time through it too.
 
 A bare ``print()`` in the simulation/protocol/orchestration layers is
 output nobody can capture, filter, or diff: it bypasses the tracer, the
@@ -58,3 +58,97 @@ class NoBarePrint(Rule):
                     "or metric (repro.obs), or pragma a deliberate site with "
                     "`# lint: allow[OBS001]`",
                 )
+
+
+#: The two sanctioned homes for host-clock / allocation-tracing access.
+_OBS002_EXEMPT = ("repro.obs.clock", "repro.obs.prof")
+
+#: ``time.<attr>`` reads that belong behind :class:`repro.obs.WallClock`.
+_RAW_TIMERS = {"perf_counter", "perf_counter_ns"}
+
+
+@register
+class RawPerfInstrumentation(Rule):
+    """OBS002: wall-timing and tracemalloc go through ``repro.obs``.
+
+    Before the perf-observability plane, every benchmark suite and
+    worker timed itself with bare ``time.perf_counter()`` and each
+    invented its own shape for the numbers.  Timing now flows through
+    :class:`repro.obs.WallClock` (one audited host-clock seam, zeroed
+    origins, milliseconds everywhere) and allocation tracing through
+    :class:`repro.obs.prof.Profiler` — so profiles, span joins, and
+    :class:`repro.perf.PerfReport` rows all agree on where time comes
+    from.  ``repro.obs.clock`` and ``repro.obs.prof`` are the sanctioned
+    implementations; anywhere else, route through them or pragma a
+    deliberate site with ``# lint: allow[OBS002]``.
+    """
+
+    code = "OBS002"
+    name = "raw perf_counter/tracemalloc; use repro.obs.WallClock / repro.obs.prof"
+    packages = None  # applies to everything linted, benchmarks/ scripts included
+
+    def applies_to(self, module: str | None) -> bool:
+        if module is not None and any(
+            module == exempt or module.startswith(exempt + ".")
+            for exempt in _OBS002_EXEMPT
+        ):
+            return False
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imported_timers: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "tracemalloc":
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "import tracemalloc outside repro.obs.prof; use "
+                            "Profiler(memory=True) so watermarks land in "
+                            "profile.json with everything else",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "tracemalloc":
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "import tracemalloc outside repro.obs.prof; use "
+                        "Profiler(memory=True) so watermarks land in "
+                        "profile.json with everything else",
+                    )
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _RAW_TIMERS:
+                            imported_timers.add(alias.asname or alias.name)
+                            yield ctx.finding(
+                                self,
+                                node,
+                                f"importing time.{alias.name} bypasses the "
+                                "sanctioned clock; time through "
+                                "repro.obs.WallClock",
+                            )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    node.attr in _RAW_TIMERS
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "time"
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"time.{node.attr} is a raw host-clock read; time "
+                        "through repro.obs.WallClock (or repro.obs.prof for "
+                        "profiles) so perf numbers share one seam",
+                    )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in imported_timers
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{node.func.id}() is a raw host-clock read; time "
+                        "through repro.obs.WallClock",
+                    )

@@ -33,10 +33,10 @@ job, not an exact per-job figure.
 from __future__ import annotations
 
 import importlib
-import resource
-import sys
-import time
 from typing import Any
+
+from repro.obs.clock import WallClock
+from repro.obs.prof import max_rss_kb
 
 __all__ = ["execute_spec", "encode_value", "decode_payload"]
 
@@ -65,23 +65,21 @@ def decode_payload(payload: dict) -> Any:
     raise ValueError(f"unknown payload kind: {kind!r}")
 
 
-def _max_rss_kb() -> int:
-    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports kilobytes; macOS reports bytes.
-    return int(rss // 1024) if sys.platform == "darwin" else int(rss)
-
-
 def execute_spec(spec_dict: dict, telemetry_dir: str | None = None) -> dict:
     """Run one job described by ``JobSpec.to_dict()``; worker-side.
 
     ``telemetry_dir`` opts the job into telemetry capture (see module
     docstring); ``None`` (the default) runs the exact untraced path.
+    With a capture open, setting ``HIREP_PROFILE=1`` (or ``mem``) in the
+    environment additionally profiles the job (see
+    :func:`repro.obs.capture.capture`), and the bundle gains
+    ``profile.json``.
     """
     module = importlib.import_module(spec_dict["module"])
     func = getattr(module, spec_dict.get("func", "run"))
     kwargs = spec_dict.get("kwargs", {})
     telemetry: dict | None = None
-    start = time.perf_counter()  # lint: allow[DET002] -- job timing telemetry
+    clock = WallClock()  # job timing telemetry, not sim time
     if telemetry_dir is None:
         value = func(**kwargs)
     else:
@@ -95,11 +93,10 @@ def execute_spec(spec_dict: dict, telemetry_dir: str | None = None) -> dict:
                 plane, telemetry_dir, meta={"spec": spec_dict}
             )
             telemetry = {"key": key, "path": str(path)}
-    elapsed = time.perf_counter() - start  # lint: allow[DET002]
     envelope = {
         "payload": encode_value(value),
-        "elapsed_s": elapsed,
-        "rss_kb": _max_rss_kb(),
+        "elapsed_s": clock.now / 1000.0,
+        "rss_kb": max_rss_kb(),
     }
     if telemetry is not None:
         envelope["telemetry"] = telemetry

@@ -48,6 +48,7 @@ from repro.experiments import (
     traffic_analysis,
     traffic_bound,
 )
+from repro.obs.clock import WallClock
 
 __all__ = ["main", "EXPERIMENTS", "DEFAULT_CACHE_DIR", "DEFAULT_SEED"]
 
@@ -357,7 +358,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=progress,
         telemetry_dir=telemetry_dir,
     )
-    wall_start = time.perf_counter()  # lint: allow[DET002] -- wall-time telemetry
+    wall_clock = WallClock()  # wall-time telemetry, not sim time
     try:
         outcomes = scheduler.run(all_specs)
     except KeyboardInterrupt:
@@ -370,7 +371,7 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
         return 130
-    wall_s = time.perf_counter() - wall_start  # lint: allow[DET002]
+    wall_s = wall_clock.now / 1000.0
     progress.close()
 
     # -- assemble + render, in submission order ----------------------------

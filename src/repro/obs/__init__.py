@@ -22,6 +22,8 @@ __all__ = [
     "DEFAULT_BUCKETS_MS",
     "Gauge",
     "Histogram",
+    "PROFILE_SCHEMA",
+    "Profiler",
     "Registry",
     "Span",
     "SpanRecorder",
@@ -31,13 +33,16 @@ __all__ = [
     "bundle_key",
     "capture",
     "capture_active",
+    "collapsed_lines",
     "current_plane",
     "load_bundle",
+    "max_rss_kb",
     "read_jsonl",
     "store_bundle",
     "write_bundle",
     "write_chrome_trace",
     "write_events_jsonl",
+    "write_flamegraph",
     "write_metrics_json",
 ]
 
@@ -52,6 +57,8 @@ _HOME_OF = {
     "Gauge": "repro.obs.metrics",
     "Histogram": "repro.obs.metrics",
     "Registry": "repro.obs.metrics",
+    "PROFILE_SCHEMA": "repro.obs.prof",
+    "Profiler": "repro.obs.prof",
     "Span": "repro.obs.spans",
     "SpanRecorder": "repro.obs.spans",
     "TelemetryPlane": "repro.obs.plane",
@@ -59,8 +66,11 @@ _HOME_OF = {
     "attach_current": "repro.obs.capture",
     "capture": "repro.obs.capture",
     "capture_active": "repro.obs.capture",
+    "collapsed_lines": "repro.obs.prof",
     "current_plane": "repro.obs.capture",
+    "max_rss_kb": "repro.obs.prof",
     "read_jsonl": "repro.obs.export",
+    "write_flamegraph": "repro.obs.prof",
     "write_chrome_trace": "repro.obs.export",
     "write_events_jsonl": "repro.obs.export",
     "write_metrics_json": "repro.obs.export",

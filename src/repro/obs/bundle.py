@@ -6,11 +6,14 @@ A *bundle* is the on-disk form of a :class:`~repro.obs.plane.TelemetryPlane`:
   :mod:`repro.obs.export`);
 * ``trace.json``   — the Chrome/Perfetto trace;
 * ``metrics.json`` — the registry snapshot;
-* ``meta.json``    — caller-supplied context (job key, spec, label).
+* ``meta.json``    — caller-supplied context (job key, spec, label);
+* ``profile.json`` — the wall-clock profile (:mod:`repro.obs.prof`),
+  present only when the plane carried a profiler.
 
 The bundle **key** is a SHA-256 over the three telemetry files only —
-``meta.json`` is excluded so annotating a bundle (or stamping capture
-wall-time into it) never changes its identity.  :func:`store_bundle`
+``meta.json`` and ``profile.json`` are excluded: annotations and
+wall-clock profile data are honest about being nondeterministic, so
+they never change a bundle's identity.  :func:`store_bundle`
 fans bundles out under ``<root>/<key[:2]>/<key>/`` exactly like the
 result cache, so a sweep's bundles live naturally next to its cached
 results and identical telemetry is stored once.
@@ -48,15 +51,33 @@ def write_bundle(
     *,
     meta: dict[str, Any] | None = None,
 ) -> Path:
-    """Export ``plane`` into ``directory`` (created if needed)."""
+    """Export ``plane`` into ``directory`` (created if needed).
+
+    Wall-clock profiler gauges (``prof.*``) are kept out of
+    ``metrics.json`` — they land in ``profile.json`` with the sampled
+    stacks — so the hashed telemetry files stay a pure function of the
+    simulation whether or not a profiler rode along.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     write_events_jsonl(plane, directory / "events.jsonl")
     write_chrome_trace(plane, directory / "trace.json")
-    write_metrics_json(plane.collect(), directory / "metrics.json")
+    metrics = {
+        k: v for k, v in plane.collect().items() if not k.startswith("prof.")
+    }
+    write_metrics_json(metrics, directory / "metrics.json")
     (directory / "meta.json").write_text(
         json.dumps(meta or {}, sort_keys=True, separators=(",", ":"))
     )
+    profiler = getattr(plane, "profiler", None)
+    if profiler is not None:
+        from repro.obs.prof import PROFILE_FILENAME
+
+        (directory / PROFILE_FILENAME).write_text(
+            json.dumps(
+                profiler.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+        )
     return directory
 
 
@@ -100,7 +121,13 @@ def store_bundle(
     key = bundle_key(stage_dir)
     final = root / key[:2] / key
     if final.is_dir():
-        for name in ("events.jsonl", "trace.json", "metrics.json", "meta.json"):
+        for name in (
+            "events.jsonl",
+            "trace.json",
+            "metrics.json",
+            "meta.json",
+            "profile.json",
+        ):
             (stage_dir / name).unlink(missing_ok=True)
         stage_dir.rmdir()
     else:
@@ -118,6 +145,7 @@ class Bundle:
     spans: list[dict[str, Any]] = field(default_factory=list)
     metrics: dict[str, float] = field(default_factory=dict)
     meta: dict[str, Any] = field(default_factory=dict)
+    profile: dict[str, Any] | None = None
 
     @property
     def key(self) -> str:
@@ -131,10 +159,15 @@ def load_bundle(directory: str | Path) -> Bundle:
     metrics = json.loads((directory / "metrics.json").read_text())
     meta_path = directory / "meta.json"
     meta = json.loads(meta_path.read_text()) if meta_path.is_file() else {}
+    profile_path = directory / "profile.json"
+    profile = (
+        json.loads(profile_path.read_text()) if profile_path.is_file() else None
+    )
     return Bundle(
         path=directory,
         events=[r for r in rows if r.get("kind") == "event"],
         spans=[r for r in rows if r.get("kind") == "span"],
         metrics=metrics,
         meta=meta,
+        profile=profile,
     )

@@ -55,22 +55,54 @@ def attach_current(system: Any) -> bool:
     return True
 
 
+def _profile_from_env() -> str | bool:
+    """The ``HIREP_PROFILE`` opt-in: unset/0 off, ``mem`` adds tracemalloc."""
+    import os
+
+    raw = os.environ.get("HIREP_PROFILE", "").strip().lower()
+    if raw in ("", "0", "false", "off"):
+        return False
+    return "mem" if raw == "mem" else True
+
+
 @contextmanager
-def capture(**plane_kwargs: Any) -> Iterator["TelemetryPlane"]:
+def capture(
+    *, profile: str | bool | None = None, **plane_kwargs: Any
+) -> Iterator["TelemetryPlane"]:
     """Open a capture window; yields the :class:`TelemetryPlane`.
 
     Every system built through the registry inside the window is
     instrumented.  Keyword arguments go to the plane constructor
     (``capacity``, ``categories``, ``flight_spans``).
+
+    ``profile`` opts the window into wall-clock profiling
+    (:mod:`repro.obs.prof`): ``True`` starts a sampling profiler for the
+    duration of the window, ``"mem"`` additionally turns on tracemalloc
+    watermarks, and ``None`` (the default) defers to the
+    ``HIREP_PROFILE`` environment variable — which is how orchestrator
+    workers (:mod:`repro.exec.worker`) and anything else that opens
+    captures deep inside library code get profiled without new
+    parameters.  The profile is exported as ``profile.json`` when the
+    plane is stored as a bundle.
     """
     global _active
     if _active is not None:
         raise ConfigError("telemetry capture is already active; captures do not nest")
     from repro.obs.plane import TelemetryPlane
 
+    if profile is None:
+        profile = _profile_from_env()
     plane = TelemetryPlane(**plane_kwargs)
+    profiler = None
+    if profile:
+        from repro.obs.prof import Profiler
+
+        profiler = plane.set_profiler(Profiler(memory=profile == "mem"))
+        profiler.start()
     _active = plane
     try:
         yield plane
     finally:
         _active = None
+        if profiler is not None:
+            profiler.stop()

@@ -24,11 +24,15 @@ time, so output is a pure function of the seed.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
+from repro.errors import ConfigError
 from repro.obs.metrics import Registry
 from repro.obs.spans import Span, SpanRecorder
 from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.prof import Profiler
 
 __all__ = ["TelemetryPlane"]
 
@@ -95,13 +99,32 @@ class TelemetryPlane:
         capacity: int = 1_000_000,
         categories: Any = None,
         flight_spans: bool = True,
+        profiler: "Profiler | None" = None,
     ) -> None:
         self.tracer = Tracer(capacity=capacity, categories=categories)
         self.spans = SpanRecorder()
         self.registry = Registry()
         self.flight_spans = flight_spans
+        self.profiler: "Profiler | None" = None
         self._attachments: list[_Attachment] = []
         self.registry.register_collector(self._self_collector)
+        if profiler is not None:
+            self.set_profiler(profiler)
+
+    def set_profiler(self, profiler: "Profiler") -> "Profiler":
+        """Join a :class:`~repro.obs.prof.Profiler` to this plane.
+
+        The profiler's watermark gauges (``prof.*``) enter the metric
+        snapshot, transaction spans gain a ``wall_ms`` attribute, and
+        samples taken inside a transaction are attributed to the
+        ``transaction`` context.  Starting/stopping the profiler stays
+        the caller's job (``capture(profile=True)`` does both).
+        """
+        if self.profiler is not None:
+            raise ConfigError("telemetry plane already has a profiler")
+        self.profiler = profiler
+        self.registry.register_collector(profiler.collect)
+        return profiler
 
     # -- introspection -----------------------------------------------------
 
@@ -233,8 +256,20 @@ class TelemetryPlane:
                 span.attrs["sys"] = att.label
             att.txn_span = span
             att.phase_windows = {}
+            profiler = self.profiler
             try:
-                outcome = inner(*args, **kwargs)
+                if profiler is not None:
+                    # The join lives in the profiler (profile.json), not in
+                    # span attrs: wall-clock values in the span tree would
+                    # make the hashed bundle files nondeterministic.
+                    wall_t0 = profiler.clock.now
+                    with profiler.context("transaction"):
+                        outcome = inner(*args, **kwargs)
+                    profiler.note_span_wall(
+                        span.span_id, span.name, profiler.clock.now - wall_t0
+                    )
+                else:
+                    outcome = inner(*args, **kwargs)
             finally:
                 self._finish_transaction(att, span)
             span.attrs.update(

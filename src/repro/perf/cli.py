@@ -1,0 +1,295 @@
+"""``hirep-perf`` — record, trend, diff, gate, and flame perf data.
+
+Usage::
+
+    hirep-perf record BENCH_perf.json --history .perf-history
+    hirep-perf trend  --history .perf-history --suite kernel
+    hirep-perf diff   BASELINE CURRENT --exit-code
+    hirep-perf gate   --history .perf-history --tolerance 0.25 --exit-code
+    hirep-perf flame  BUNDLE --top 20 --collapsed out/flame.txt
+
+``record`` ingests report files (one :class:`~repro.perf.report.PerfReport`
+object, a list of them, or an envelope with a ``"reports"`` list — the
+shape ``benchmarks/conftest.py`` writes) into an append-only history.
+``gate`` checks the newest report of every (suite, backend, N) series
+against the rolling median of prior runs; like ``hirep-obs diff``, it
+always prints its findings and only exits non-zero under ``--exit-code``.
+``flame`` reads the ``profile.json`` of a telemetry bundle (see
+:mod:`repro.obs.prof`) and renders self-time tables, collapsed stacks
+for flamegraph tooling, or a Chrome trace of the sampled timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import ConfigError
+from repro.perf.gate import gate, latest_by_key
+from repro.perf.history import PerfHistory
+from repro.perf.report import PerfReport, current_git_sha, metric_direction
+
+__all__ = ["main"]
+
+
+def _load_report_objs(path: Path) -> list[PerfReport]:
+    """Reports from a JSON file: one object, a list, or an envelope."""
+    data = json.loads(path.read_text())
+    if isinstance(data, dict) and "reports" in data:
+        data = data["reports"]
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list):
+        raise ConfigError(f"{path}: expected a report object, list, or envelope")
+    return [PerfReport.from_dict(obj) for obj in data]
+
+
+def _load_latest(path: str) -> dict[tuple, PerfReport]:
+    """Latest report per key from a history dir or a report file."""
+    p = Path(path)
+    if p.is_dir():
+        return latest_by_key(PerfHistory(p).records())
+    return latest_by_key(_load_report_objs(p))
+
+
+# -- record ------------------------------------------------------------------
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    history = PerfHistory(args.history)
+    total = 0
+    sha = current_git_sha() if args.git_sha == "auto" else args.git_sha
+    for file in args.files:
+        reports = _load_report_objs(Path(file))
+        for report in reports:
+            if report.git_sha is None and sha:
+                report.git_sha = sha
+            history.record(report)
+        total += len(reports)
+    print(f"recorded {total} report(s) into {history.root}")
+    return 0
+
+
+# -- trend -------------------------------------------------------------------
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    history = PerfHistory(args.history)
+    series = history.series()
+    if args.suite:
+        series = {k: v for k, v in series.items() if k[0] in args.suite}
+    if not series:
+        print("no perf history matched")
+        return 0
+    for (suite, backend, network_size), reports in series.items():
+        where = suite + (f"/{backend}" if backend else "")
+        if network_size:
+            where += f" N={network_size}"
+        print(f"{where}  ({len(reports)} run(s))")
+        metrics = sorted({m for r in reports for m in r.metrics})
+        if args.metric:
+            metrics = [m for m in metrics if m in args.metric]
+        for metric in metrics:
+            values = [r.metrics[metric] for r in reports if metric in r.metrics]
+            tail = values[-args.last :]
+            trail = " -> ".join(f"{v:g}" for v in tail)
+            marker = {"higher": "(^ better)", "lower": "(v better)"}.get(
+                metric_direction(metric) or "", ""
+            )
+            print(f"  {metric:<28} {trail} {marker}".rstrip())
+    return 0
+
+
+# -- diff --------------------------------------------------------------------
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    latest_a = _load_latest(args.baseline)
+    latest_b = _load_latest(args.current)
+    print(f"a: {args.baseline}")
+    print(f"b: {args.current}")
+    differs = False
+    for key in sorted(set(latest_a) | set(latest_b)):
+        suite, backend, network_size = key
+        where = suite + (f"/{backend}" if backend else "")
+        if network_size:
+            where += f"@N={network_size}"
+        a, b = latest_a.get(key), latest_b.get(key)
+        if a is None or b is None:
+            differs = True
+            print(f"{'+' if a is None else '-'} {where}")
+            continue
+        for metric in sorted(set(a.metrics) | set(b.metrics)):
+            va, vb = a.metrics.get(metric), b.metrics.get(metric)
+            if va == vb:
+                continue
+            differs = True
+            if va is None or vb is None:
+                print(f"  {'+' if va is None else '-'} {where}: {metric}")
+                continue
+            direction = metric_direction(metric)
+            note = ""
+            if direction is not None and va > 0 and vb > 0:
+                ratio = vb / va
+                worse = ratio < 1.0 if direction == "higher" else ratio > 1.0
+                note = f"  [{ratio:.2f}x {'WORSE' if worse else 'better'}]"
+            print(f"  ~ {where}: {metric}: {va:g} -> {vb:g}{note}")
+    if not differs:
+        print("no metric differences")
+        return 0
+    return 1 if args.exit_code else 0
+
+
+# -- gate --------------------------------------------------------------------
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    history = PerfHistory(args.history)
+    result = gate(
+        history,
+        window=args.window,
+        tolerance=args.tolerance,
+        suites=args.suite or None,
+    )
+    print(result.render())
+    if result.ok:
+        return 0
+    return 1 if args.exit_code else 0
+
+
+# -- flame -------------------------------------------------------------------
+
+
+def _load_profile(path: str) -> dict[str, Any]:
+    from repro.obs.prof import PROFILE_FILENAME
+
+    p = Path(path)
+    if p.is_dir():
+        p = p / PROFILE_FILENAME
+    if not p.is_file():
+        raise SystemExit(
+            f"no profile at {path} — run under capture(profile=True), "
+            "HIREP_PROFILE=1, or hirep-serve load --profile"
+        )
+    return json.loads(p.read_text())
+
+
+def cmd_flame(args: argparse.Namespace) -> int:
+    from repro.obs.prof import profile_chrome_trace_obj, write_flamegraph
+
+    profile = _load_profile(args.bundle)
+    interval = profile.get("interval_ms", 0.0)
+    print(
+        f"profile: {profile.get('samples', 0)} samples @ {interval:g}ms over "
+        f"{profile.get('wall_ms', 0.0):.0f}ms wall, "
+        f"rss peak {profile.get('rss_peak_kb', 0):g}kb"
+    )
+    if profile.get("tracemalloc_peak_kb") is not None:
+        print(f"tracemalloc peak: {profile['tracemalloc_peak_kb']:.0f}kb")
+    contexts = profile.get("contexts", {})
+    if contexts:
+        rendered = ", ".join(
+            f"{name or '(none)'}={count}" for name, count in sorted(contexts.items())
+        )
+        print(f"sample contexts: {rendered}")
+    self_ms = profile.get("self_ms", [])[: args.top]
+    if self_ms:
+        print(f"\ntop {len(self_ms)} by self time:")
+        for label, ms in self_ms:
+            print(f"  {ms:9.1f}ms  {label}")
+    if args.collapsed:
+        path = write_flamegraph(profile, args.collapsed)
+        print(f"\ncollapsed stacks: {path}")
+    if args.chrome:
+        out = Path(args.chrome)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(
+                profile_chrome_trace_obj(profile),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+        print(f"chrome trace: {out}")
+    return 0
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hirep-perf", description="hiREP performance history and gating"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_rec = sub.add_parser("record", help="append report files to a history")
+    p_rec.add_argument("files", nargs="+", help="PerfReport JSON file(s)")
+    p_rec.add_argument("--history", required=True, help="history root directory")
+    p_rec.add_argument(
+        "--git-sha",
+        default="auto",
+        help='sha stamped onto reports lacking one ("auto" = git rev-parse)',
+    )
+    p_rec.set_defaults(func=cmd_record)
+
+    p_tr = sub.add_parser("trend", help="print metric series per suite")
+    p_tr.add_argument("--history", required=True)
+    p_tr.add_argument("--suite", action="append", default=[], help="filter suites")
+    p_tr.add_argument("--metric", action="append", default=[], help="filter metrics")
+    p_tr.add_argument("--last", type=int, default=8, help="series tail length")
+    p_tr.set_defaults(func=cmd_trend)
+
+    p_diff = sub.add_parser("diff", help="compare two histories/report files")
+    p_diff.add_argument("baseline", help="history dir or report JSON")
+    p_diff.add_argument("current", help="history dir or report JSON")
+    p_diff.add_argument(
+        "--exit-code",
+        action="store_true",
+        help="exit 1 when metrics differ (for scripting)",
+    )
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_gate = sub.add_parser("gate", help="flag regressions vs rolling baseline")
+    p_gate.add_argument("--history", required=True)
+    p_gate.add_argument(
+        "--window", type=int, default=5, help="prior runs in the rolling median"
+    )
+    p_gate.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional degradation (0.25 = 25%%)",
+    )
+    p_gate.add_argument("--suite", action="append", default=[], help="gate only these")
+    p_gate.add_argument(
+        "--exit-code",
+        action="store_true",
+        help="exit 1 on any regression (for CI)",
+    )
+    p_gate.set_defaults(func=cmd_gate)
+
+    p_fl = sub.add_parser("flame", help="render a bundle's wall-clock profile")
+    p_fl.add_argument("bundle", help="bundle directory or profile.json path")
+    p_fl.add_argument("--top", type=int, default=15, help="self-time rows shown")
+    p_fl.add_argument(
+        "--collapsed", default=None, help="write flamegraph.pl collapsed stacks here"
+    )
+    p_fl.add_argument(
+        "--chrome", default=None, help="write a Chrome trace of the samples here"
+    )
+    p_fl.set_defaults(func=cmd_flame)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,11 @@ Subcommands
 ``load``
     Replay a workload trace at a chosen concurrency/arrival rate, print
     the SLO report, optionally persist ``slo.json`` (``--out``) and the
-    full telemetry bundle (``--telemetry``).  Exits non-zero when any
-    transaction is lost.
+    full telemetry bundle (``--telemetry``).  ``--profile`` attaches a
+    sampling :class:`~repro.obs.prof.Profiler` to the fleet's telemetry
+    plane (``--profile mem`` adds tracemalloc watermarks); with
+    ``--telemetry`` the bundle gains ``profile.json`` for
+    ``hirep-perf flame``.  Exits non-zero when any transaction is lost.
 ``bench``
     Run the same trace at several concurrency levels (fresh fleet each)
     and print a throughput table.
@@ -127,10 +130,24 @@ def _cmd_up(args: argparse.Namespace) -> int:
 
 def _cmd_load(args: argparse.Namespace) -> int:
     system = _build_fleet(args)
+    profiler = None
+    if args.profile:
+        from repro.obs.prof import Profiler
+
+        profiler = system.telemetry.set_profiler(Profiler(memory=args.profile == "mem"))
     with system:
-        report = _run_load(system, args)
+        if profiler is not None:
+            profiler.start()
+        try:
+            report = _run_load(system, args)
+        finally:
+            if profiler is not None:
+                profiler.stop()
         summary = slo_summary(system, report)
         print(render_slo(summary))
+        if profiler is not None:
+            for label, ms in list(profiler.self_times().items())[:5]:
+                print(f"self {ms:8.1f}ms  {label}")
         for error in report.errors:
             print(f"lost: {error}")
         if args.out is not None:
@@ -206,6 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--out", default=None, help="directory for slo.json")
     load.add_argument(
         "--telemetry", default=None, help="bundle store root for the full record"
+    )
+    load.add_argument(
+        "--profile",
+        nargs="?",
+        const="1",
+        default=None,
+        choices=["1", "mem"],
+        help="sample a wall-clock profile of the run (mem = +tracemalloc); "
+        "lands in the bundle as profile.json when --telemetry is set",
     )
     load.set_defaults(func=_cmd_load)
 

@@ -27,6 +27,7 @@ def test_bundled_rule_set_is_complete():
         "DET003",
         "EXC001",
         "OBS001",
+        "OBS002",
         "SRV001",
     ]
 

@@ -85,8 +85,12 @@ def test_det002_clean_simulated_time():
 
 
 def test_det002_pragma_marks_telemetry_site():
-    src = "import time\nstart = time.perf_counter()  # lint: allow[DET002]\n"
+    # a deliberate raw-clock site needs both pragmas now: DET002 (wall
+    # clock in sim paths) and OBS002 (perf timing outside repro.obs)
+    src = "import time\nstart = time.perf_counter()  # lint: allow[DET002, OBS002]\n"
     assert codes(src) == []
+    only_det = "import time\nstart = time.perf_counter()  # lint: allow[DET002]\n"
+    assert codes(only_det) == ["OBS002"]
 
 
 # ---------------------------------------------------------------- DET003
@@ -288,6 +292,56 @@ def test_obs001_ignores_shadowed_and_attribute_prints():
 
 def test_obs001_pragma_suppresses():
     src = "print('banner')  # lint: allow[OBS001]\n"
+    assert codes(src, module="repro.core.fake") == []
+
+
+# ---------------------------------------------------------------- OBS002
+
+
+def test_obs002_flags_raw_perf_counter():
+    src = "import time\nt0 = time.perf_counter()\n"
+    # DET002 (wall clock in sim paths) also fires inside repro packages;
+    # OBS002 is the one that additionally covers benchmarks (module=None)
+    assert "OBS002" in codes(src, module="repro.core.fake")
+    assert "OBS002" in codes(src, module=None, path="benchmarks/test_bench_x.py")
+    assert "OBS002" in codes("import time\nt = time.perf_counter_ns()\n", module=None)
+
+
+def test_obs002_flags_perf_counter_from_import():
+    src = "from time import perf_counter\nt0 = perf_counter()\n"
+    fired = codes(src, module=None, path="benchmarks/test_bench_x.py")
+    # once for the import, once for the call
+    assert fired.count("OBS002") == 2
+
+
+def test_obs002_flags_tracemalloc():
+    assert "OBS002" in codes("import tracemalloc\n", module="repro.exec.fake")
+    assert "OBS002" in codes("from tracemalloc import start\n", module=None)
+
+
+def test_obs002_exempts_sanctioned_clock_homes():
+    src = "import time\nt0 = time.perf_counter()  # lint: allow[DET002]\n"
+    assert codes(src, module="repro.obs.clock") == []
+    assert codes(src, module="repro.obs.prof") == []
+
+
+def test_obs002_allows_wallclock_usage():
+    src = (
+        "from repro.obs.clock import WallClock\n"
+        "clock = WallClock()\n"
+        "elapsed_ms = clock.now\n"
+    )
+    assert codes(src, module=None, path="benchmarks/test_bench_x.py") == []
+
+
+def test_obs002_ignores_shadowed_attribute():
+    # a local object that happens to have a .perf_counter attribute
+    src = "def f(timer: object) -> object:\n    return timer.recorder.perf_counter\n"
+    assert codes(src, module="repro.core.fake") == []
+
+
+def test_obs002_pragma_suppresses():
+    src = "import time\nt = time.perf_counter()  # lint: allow[OBS002, DET002]\n"
     assert codes(src, module="repro.core.fake") == []
 
 
